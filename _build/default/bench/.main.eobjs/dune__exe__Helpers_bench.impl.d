@@ -1,0 +1,1 @@
+bench/helpers_bench.ml: Cost_model Heap Machine Svagc_heap Svagc_kernel Svagc_util Svagc_vmem

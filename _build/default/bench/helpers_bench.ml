@@ -1,0 +1,31 @@
+(* Fixtures shared by the micro-benchmarks: a populated heap with the
+   usual small/large object mix (mirrors test/helpers.ml, duplicated here
+   because bench and test are separate executables). *)
+
+open Svagc_vmem
+open Svagc_heap
+module Process = Svagc_kernel.Process
+module Rng = Svagc_util.Rng
+
+let fresh_heap ?(size_mib = 24) () =
+  let machine = Machine.create ~ncores:4 ~phys_mib:128 Cost_model.xeon_6130 in
+  let proc = Process.create machine in
+  Heap.create proc ~threshold_pages:10 ~size_bytes:(size_mib * 1024 * 1024) ()
+
+let populate ?(n = 120) ?(seed = 42) heap =
+  let rng = Rng.create ~seed in
+  let prev = ref None in
+  for i = 0 to n - 1 do
+    let size =
+      if Rng.int rng 10 < 4 then (40 * 1024) + Rng.int rng (64 * 1024)
+      else 64 + Rng.int rng 2048
+    in
+    let obj = Heap.alloc heap ~size ~n_refs:2 ~cls:0 in
+    if i mod 2 = 0 then begin
+      Heap.add_root heap obj;
+      (match !prev with
+      | Some p -> Heap.set_ref heap obj ~slot:0 (Some p)
+      | None -> ());
+      prev := Some obj
+    end
+  done

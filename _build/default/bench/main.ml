@@ -1,0 +1,159 @@
+(* The benchmark harness:
+
+   1. Bechamel micro-benchmarks — one Test.make per paper table/figure,
+      timing the *simulator operation* at the heart of that experiment
+      (host wall-clock, sanity for the simulation's own cost).
+   2. The full reproduction harness — regenerates every figure and table
+      of the paper's evaluation (simulated time), via
+      Svagc_experiments.Registry.
+
+   `dune exec bench/main.exe` runs both; pass `--quick` to trim the suite,
+   `--skip-micro` to go straight to the reproductions. *)
+
+open Bechamel
+open Toolkit
+open Svagc_vmem
+module Process = Svagc_kernel.Process
+module Swapva = Svagc_kernel.Swapva
+
+let base = 1 lsl 30
+
+let swap_fixture ~pages =
+  let machine = Machine.create ~phys_mib:256 Cost_model.xeon_6130 in
+  let proc = Process.create machine in
+  Address_space.map_range (Process.aspace proc) ~va:base ~pages:(2 * pages);
+  proc
+
+(* Populated heap fixture used by the GC-cycle benchmarks; one collection
+   consumes the garbage, so each run re-populates. *)
+let gc_cycle collector_of () =
+  let heap = Helpers_bench.fresh_heap () in
+  Helpers_bench.populate heap;
+  ignore (Svagc_gc.Gc_intf.collect (collector_of heap))
+
+let micro_tests =
+  [
+    (* Fig. 1: one full memmove LISP2 cycle (the phase-breakdown subject). *)
+    Test.make ~name:"fig1:lisp2-memmove-cycle"
+      (Staged.stage (gc_cycle (Svagc_core.Svagc.baseline_collector ~threads:4)));
+    (* Fig. 2 / Fig. 14: one LRU-cache mutator step. *)
+    Test.make ~name:"fig2+14:lru-step"
+      (Staged.stage
+         (let machine = Machine.create ~phys_mib:256 Cost_model.xeon_6130 in
+          let jvm =
+            Svagc_workloads.Runner.make_jvm ~machine
+              ~collector_of:
+                (Svagc_core.Svagc.collector ~config:Svagc_core.Config.default)
+              Svagc_workloads.Lru_cache.workload
+          in
+          let rng = Svagc_util.Rng.create ~seed:1 in
+          Svagc_workloads.Lru_cache.workload.Svagc_workloads.Workload.setup jvm rng));
+    (* Fig. 6: an aggregated SwapVA call over 16 requests. *)
+    Test.make ~name:"fig6:aggregated-swap-16x4p"
+      (Staged.stage
+         (let proc = swap_fixture ~pages:(16 * 4) in
+          let reqs =
+            List.init 16 (fun i ->
+                let off = i * 8 * Addr.page_size in
+                {
+                  Swapva.src = base + off;
+                  dst = base + off + (4 * Addr.page_size);
+                  pages = 4;
+                })
+          in
+          fun () ->
+            ignore (Swapva.swap_aggregated proc ~opts:Swapva.default_opts reqs)));
+    (* Fig. 8: a 256-page swap with PMD caching. *)
+    Test.make ~name:"fig8:swap-256p-pmd"
+      (Staged.stage
+         (let proc = swap_fixture ~pages:256 in
+          fun () ->
+            ignore
+              (Swapva.swap proc ~opts:Swapva.default_opts ~src:base
+                 ~dst:(base + (256 * Addr.page_size))
+                 ~pages:256)));
+    (* Fig. 9: a pinned-mode swap storm (local flushes only). *)
+    Test.make ~name:"fig9:pinned-swap-storm"
+      (Staged.stage
+         (let proc = swap_fixture ~pages:64 in
+          fun () ->
+            for i = 0 to 15 do
+              let off = i * 4 * Addr.page_size in
+              ignore
+                (Swapva.swap proc ~opts:Swapva.default_opts ~src:(base + off)
+                   ~dst:(base + off + (2 * Addr.page_size))
+                   ~pages:2)
+            done));
+    (* Fig. 10: the analytic MoveObject cost sweep around the threshold. *)
+    Test.make ~name:"fig10:move-cost-threshold"
+      (Staged.stage
+         (let heap = Helpers_bench.fresh_heap () in
+          fun () ->
+            for pages = 1 to 32 do
+              ignore
+                (Svagc_core.Move_object.move_cost_ns Svagc_core.Config.default heap
+                   ~len:(pages * Addr.page_size))
+            done));
+    (* Figs. 11-13, 15, 16: one SVAGC collection. *)
+    Test.make ~name:"fig11-16:svagc-cycle"
+      (Staged.stage
+         (gc_cycle (Svagc_core.Svagc.collector ~config:Svagc_core.Config.default)));
+    (* Table I: an overlapping (Algorithm 2) swap. *)
+    Test.make ~name:"table1:overlap-swap-16p"
+      (Staged.stage
+         (let proc = swap_fixture ~pages:20 in
+          fun () ->
+            ignore
+              (Swapva.swap proc ~opts:Swapva.default_opts ~src:base
+                 ~dst:(base + (4 * Addr.page_size))
+                 ~pages:16)));
+    (* Table II: registry rendering. *)
+    Test.make ~name:"table2:registry-rows"
+      (Staged.stage (fun () -> ignore (Svagc_workloads.Spec.table_ii_rows ())));
+    (* Table III: a measured (cache+TLB instrumented) memmove. *)
+    Test.make ~name:"table3:measured-memmove-64k"
+      (Staged.stage
+         (let machine = Machine.create ~phys_mib:64 Cost_model.xeon_6130 in
+          let proc = Process.create machine in
+          let aspace = Process.aspace proc in
+          Address_space.map_range aspace ~va:base ~pages:64;
+          fun () ->
+            ignore
+              (Svagc_kernel.Memmove.move ~measure_core:0 aspace ~src:base
+                 ~dst:(base + (32 * Addr.page_size))
+                 ~len:65536)));
+  ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let grouped = Test.make_grouped ~name:"svagc" ~fmt:"%s %s" micro_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let results = Analyze.merge ols instances results in
+  Svagc_metrics.Report.section "Bechamel micro-benchmarks (host wall-clock)";
+  match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+  | None -> print_endline "  (no results)"
+  | Some per_test ->
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name ols ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some [ x ] -> Printf.sprintf "%.0f ns/run" x
+          | Some _ | None -> "n/a"
+        in
+        rows := [ name; est ] :: !rows)
+      per_test;
+    Svagc_metrics.Table.print ~headers:[ "benchmark"; "host time" ]
+      (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let skip_micro = List.mem "--skip-micro" args in
+  if not skip_micro then run_micro ();
+  Svagc_experiments.Registry.run_all ~quick ()

@@ -1,0 +1,126 @@
+(* svagc — command-line front end for the SVAGC reproduction.
+
+   `svagc list`                 enumerate experiments and workloads
+   `svagc exp fig11 [--quick]`  reproduce one figure/table (or `all`)
+   `svagc bench <name> ...`     run one benchmark under chosen collectors
+   `svagc threshold`            print the Fig. 10 style break-even sweep *)
+
+open Cmdliner
+module Registry = Svagc_experiments.Registry
+module Runner = Svagc_workloads.Runner
+module Workload = Svagc_workloads.Workload
+module Report = Svagc_metrics.Report
+
+let list_cmd =
+  let doc = "List available experiments and workloads." in
+  let run () =
+    Report.section "Experiments";
+    List.iter
+      (fun e -> Printf.printf "  %-8s %s\n" e.Registry.id e.Registry.title)
+      Registry.all;
+    Report.section "Workloads";
+    List.iter
+      (fun w ->
+        Printf.printf "  %-16s %-12s %s\n" w.Workload.name w.Workload.suite
+          w.Workload.description)
+      Svagc_workloads.Spec.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed suite / fewer steps.")
+
+let exp_cmd =
+  let doc = "Reproduce paper experiments by id (or 'all')." in
+  let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
+  let run quick ids =
+    List.iter
+      (fun id ->
+        if id = "all" then Registry.run_all ~quick ()
+        else
+          match Registry.find id with
+          | Some e -> e.Registry.run ~quick ()
+          | None ->
+            Printf.eprintf "unknown experiment %S (see `svagc list`)\n" id;
+            exit 1)
+      ids
+  in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ quick_arg $ ids)
+
+let collector_conv =
+  let parse = function
+    | "svagc" -> Ok Svagc_experiments.Exp_common.Svagc
+    | "memmove" | "baseline" -> Ok Svagc_experiments.Exp_common.Lisp2_memmove
+    | "parallelgc" -> Ok Svagc_experiments.Exp_common.Parallelgc
+    | "shenandoah" -> Ok Svagc_experiments.Exp_common.Shenandoah
+    | s -> Error (`Msg (Printf.sprintf "unknown collector %S" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf (Svagc_experiments.Exp_common.collector_name k)
+  in
+  Arg.conv (parse, print)
+
+let bench_cmd =
+  let doc = "Run one workload under one or more collectors." in
+  let workload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD")
+  in
+  let collectors =
+    Arg.(
+      value
+      & opt_all collector_conv
+          [
+            Svagc_experiments.Exp_common.Svagc;
+            Svagc_experiments.Exp_common.Lisp2_memmove;
+          ]
+      & info [ "c"; "collector" ] ~docv:"COLLECTOR"
+          ~doc:"svagc | memmove | parallelgc | shenandoah (repeatable).")
+  in
+  let heap_factor =
+    Arg.(value & opt float 1.2 & info [ "heap-factor" ] ~doc:"Heap over minimum.")
+  in
+  let steps = Arg.(value & opt int 60 & info [ "steps" ] ~doc:"Mutator steps.") in
+  let run workload_name collectors heap_factor steps =
+    let workload =
+      try Svagc_workloads.Spec.find workload_name
+      with Not_found ->
+        Printf.eprintf "unknown workload %S (see `svagc list`)\n" workload_name;
+        exit 1
+    in
+    Report.section (Printf.sprintf "%s @ %.1fx min heap" workload_name heap_factor);
+    List.iter
+      (fun kind ->
+        let machine =
+          Svagc_experiments.Exp_common.fresh_machine Svagc_vmem.Cost_model.xeon_6130
+        in
+        let r =
+          Runner.run ~heap_factor ~steps ~machine
+            ~collector_of:(Svagc_experiments.Exp_common.collector_of kind)
+            workload
+        in
+        Report.subsection (Svagc_experiments.Exp_common.collector_name kind);
+        Report.kv "steps" (string_of_int r.Runner.steps);
+        Report.kv "full GCs" (string_of_int r.Runner.summary.Svagc_gc.Gc_stats.cycles);
+        Report.kv "app time" (Report.ns r.Runner.app_ns);
+        Report.kv "GC time" (Report.ns r.Runner.gc_ns);
+        Report.kv "avg pause"
+          (Report.ns r.Runner.summary.Svagc_gc.Gc_stats.avg_pause_ns);
+        Report.kv "max pause"
+          (Report.ns r.Runner.summary.Svagc_gc.Gc_stats.max_pause_ns);
+        Report.kv "throughput" (Printf.sprintf "%.3f steps/ms" r.Runner.throughput))
+      collectors
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ workload_arg $ collectors $ heap_factor $ steps)
+
+let threshold_cmd =
+  let doc = "Print the SwapVA/memmove break-even sweep (Fig. 10)." in
+  Cmd.v (Cmd.info "threshold" ~doc)
+    Term.(const (fun () -> Svagc_experiments.Exp_fig10.run ()) $ const ())
+
+let main =
+  let doc = "SVAGC: GC with scalable virtual-address swapping (simulation)" in
+  Cmd.group (Cmd.info "svagc" ~version:"1.0.0" ~doc)
+    [ list_cmd; exp_cmd; bench_cmd; threshold_cmd ]
+
+let () = exit (Cmd.eval main)

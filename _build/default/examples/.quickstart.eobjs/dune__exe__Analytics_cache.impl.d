@@ -1,0 +1,1 @@
+examples/analytics_cache.ml: Array Cost_model List Machine Printf Svagc_core Svagc_gc Svagc_heap Svagc_metrics Svagc_util Svagc_vmem

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Array Cost_model List Machine Printf Svagc_core Svagc_gc Svagc_metrics Svagc_util Svagc_vmem Svagc_workloads

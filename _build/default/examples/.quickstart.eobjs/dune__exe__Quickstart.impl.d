@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Char Cost_model Heap List Machine Svagc_core Svagc_gc Svagc_heap Svagc_metrics Svagc_util Svagc_vmem

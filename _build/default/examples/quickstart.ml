@@ -1,0 +1,82 @@
+(* Quickstart: the five-minute tour of the public API.
+
+   Build a simulated machine, boot a JVM with the SVAGC collector,
+   allocate a mix of small and large objects, drop half of them, force a
+   full collection, and verify — byte for byte — that the survivors moved
+   intact even though the large ones were never copied.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Svagc_vmem
+open Svagc_heap
+module Jvm = Svagc_core.Jvm
+module Report = Svagc_metrics.Report
+
+let () =
+  (* 1. A machine: the paper's 32-core Xeon Gold 6130 testbed. *)
+  let machine = Machine.create ~phys_mib:256 Cost_model.xeon_6130 in
+
+  (* 2. A JVM instance with the SVAGC collector (all paper optimizations:
+        10-page threshold, PMD caching, aggregation, overlap swapping,
+        Algorithm 4 pinned compaction). *)
+  let jvm =
+    Jvm.create machine ~name:"quickstart" ~heap_bytes:(64 * 1024 * 1024)
+      ~collector_of:(Svagc_core.Svagc.collector ~config:Svagc_core.Config.default)
+      ()
+  in
+  let heap = Jvm.heap jvm in
+
+  (* 3. Allocate: 160 small objects and 80 large (1 MiB) ones.  Large
+        objects land page-aligned (Algorithm 3), which is what makes them
+        swappable later. *)
+  let rng = Svagc_util.Rng.create ~seed:2026 in
+  let survivors = ref [] in
+  for i = 0 to 239 do
+    let size =
+      if i mod 3 = 0 then 1024 * 1024 else 64 + Svagc_util.Rng.int rng 1024
+    in
+    let obj = Jvm.alloc jvm ~size ~n_refs:1 ~cls:0 in
+    Heap.write_payload heap obj ~off:0 (Bytes.make 32 (Char.chr (33 + (i mod 90))));
+    if i mod 2 = 0 then begin
+      (* Even objects stay reachable... *)
+      Heap.add_root heap obj;
+      survivors := (obj, Heap.checksum_object heap obj) :: !survivors
+    end
+    (* ...odd ones become garbage as soon as we stop referring to them. *)
+  done;
+
+  Report.section "Before collection";
+  Report.kv "objects" (string_of_int (Heap.object_count heap));
+  Report.kv "heap used" (Report.bytes (Heap.used_bytes heap));
+  Report.kv "live (reachable)" (Report.bytes (Heap.live_bytes heap));
+
+  (* 4. Collect.  MoveObject routes every >= 10-page object through the
+        SwapVA system call; everything else is memmove'd. *)
+  let cycle = Jvm.run_gc jvm in
+
+  Report.section "Full GC cycle";
+  Report.kv "pause" (Report.ns (Svagc_gc.Gc_stats.pause_ns cycle));
+  Report.kv "  mark" (Report.ns cycle.Svagc_gc.Gc_stats.mark_ns);
+  Report.kv "  forward" (Report.ns cycle.Svagc_gc.Gc_stats.forward_ns);
+  Report.kv "  adjust" (Report.ns cycle.Svagc_gc.Gc_stats.adjust_ns);
+  Report.kv "  compact" (Report.ns cycle.Svagc_gc.Gc_stats.compact_ns);
+  Report.kv "objects moved" (string_of_int cycle.Svagc_gc.Gc_stats.moved_objects);
+  Report.kv "  via SwapVA (zero-copy)"
+    (string_of_int cycle.Svagc_gc.Gc_stats.swapped_objects);
+  Report.kv "bytes physically copied" (Report.bytes cycle.Svagc_gc.Gc_stats.bytes_copied);
+  Report.kv "bytes remapped instead" (Report.bytes cycle.Svagc_gc.Gc_stats.bytes_remapped);
+
+  (* 5. Verify: every survivor's bytes are intact at its new address. *)
+  let corrupted =
+    List.filter
+      (fun (o, ck) ->
+        Heap.checksum_object heap o <> ck || not (Heap.header_matches heap o))
+      !survivors
+  in
+  Report.section "After collection";
+  Report.kv "objects" (string_of_int (Heap.object_count heap));
+  Report.kv "heap used" (Report.bytes (Heap.used_bytes heap));
+  Report.kv "survivors verified" (string_of_int (List.length !survivors));
+  Report.kv "corrupted" (string_of_int (List.length corrupted));
+  if corrupted <> [] then failwith "GC corrupted live data!";
+  print_endline "\nOK: zero-copy compaction preserved every live byte."

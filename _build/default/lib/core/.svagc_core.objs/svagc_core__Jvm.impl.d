@@ -1,0 +1,1 @@
+lib/core/jvm.ml: Clock Cost_model Hashtbl Heap List Machine Svagc_gc Svagc_heap Svagc_kernel Svagc_vmem Tlab

@@ -1,0 +1,1 @@
+lib/core/jvm.mli: Heap Machine Obj_model Svagc_gc Svagc_heap Svagc_kernel Svagc_vmem

@@ -1,0 +1,1 @@
+lib/core/move_object.ml: Config Heap List Svagc_gc Svagc_heap Svagc_kernel Svagc_util Svagc_vmem

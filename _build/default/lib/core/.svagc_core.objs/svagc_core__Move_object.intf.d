@@ -1,0 +1,1 @@
+lib/core/move_object.mli: Config Heap Svagc_gc Svagc_heap

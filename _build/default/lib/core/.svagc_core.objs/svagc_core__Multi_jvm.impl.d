@@ -1,0 +1,1 @@
+lib/core/multi_jvm.ml: Array Float Jvm Machine Svagc_vmem

@@ -1,0 +1,1 @@
+lib/core/multi_jvm.mli: Jvm Machine Svagc_vmem

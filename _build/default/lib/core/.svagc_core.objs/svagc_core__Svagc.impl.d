@@ -1,0 +1,1 @@
+lib/core/svagc.ml: Config Heap Move_object Svagc_gc Svagc_heap

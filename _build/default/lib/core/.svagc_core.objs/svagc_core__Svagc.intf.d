@@ -1,0 +1,1 @@
+lib/core/svagc.mli: Config Heap Svagc_gc Svagc_heap

@@ -1,0 +1,56 @@
+module Shootdown = Svagc_kernel.Shootdown
+
+type t = {
+  threshold_pages : int;
+  pmd_caching : bool;
+  aggregation : bool;
+  aggregation_batch : int;
+  allow_overlap : bool;
+  flush : Shootdown.policy;
+  pin_compaction : bool;
+  gc_threads : int;
+}
+
+let default =
+  {
+    threshold_pages = 10;
+    pmd_caching = true;
+    aggregation = true;
+    aggregation_batch = 64;
+    allow_overlap = true;
+    flush = Shootdown.Local_pinned;
+    pin_compaction = true;
+    gc_threads = 4;
+  }
+
+let unoptimized =
+  {
+    threshold_pages = 10;
+    pmd_caching = false;
+    aggregation = false;
+    aggregation_batch = 1;
+    allow_overlap = false;
+    flush = Shootdown.Broadcast_per_call;
+    pin_compaction = false;
+    gc_threads = 4;
+  }
+
+let validate t =
+  if t.threshold_pages <= 0 then invalid_arg "Config: threshold must be positive";
+  if t.aggregation_batch <= 0 then invalid_arg "Config: batch must be positive";
+  if t.gc_threads <= 0 then invalid_arg "Config: gc_threads must be positive";
+  match t.flush with
+  | Shootdown.Local_pinned when not t.pin_compaction ->
+    invalid_arg
+      "Config: Local_pinned flushing is only sound under pinned compaction \
+       (Algorithm 4)"
+  | Shootdown.Local_pinned | Shootdown.Broadcast_per_call
+  | Shootdown.Process_targeted | Shootdown.Self_invalidate ->
+    ()
+
+let pp ppf t =
+  Format.fprintf ppf
+    "svagc{threshold=%dp pmd=%b aggr=%b(batch=%d) overlap=%b flush=%a pin=%b \
+     threads=%d}"
+    t.threshold_pages t.pmd_caching t.aggregation t.aggregation_batch
+    t.allow_overlap Shootdown.pp_policy t.flush t.pin_compaction t.gc_threads

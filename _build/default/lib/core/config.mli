@@ -1,0 +1,31 @@
+(** SVAGC configuration: the swapping threshold and every optimization
+    toggle the paper evaluates (Table I / §III-IV), so each one can be
+    ablated independently. *)
+
+type t = {
+  threshold_pages : int;
+      (** Algorithm 3 [Threshold_Swapping]; 10 pages is the paper's
+          break-even (Fig. 10) *)
+  pmd_caching : bool;  (** Fig. 7/8 *)
+  aggregation : bool;  (** Fig. 5/6 *)
+  aggregation_batch : int;  (** max requests folded into one syscall *)
+  allow_overlap : bool;  (** Algorithm 2 for overlapping src/dst *)
+  flush : Svagc_kernel.Shootdown.policy;
+  pin_compaction : bool;  (** Algorithm 4 *)
+  gc_threads : int;
+}
+
+val default : t
+(** All optimizations on: threshold 10, PMD caching, aggregation (batch
+    64), overlap swapping, pinned compaction with local flushes, 4 GC
+    threads. *)
+
+val unoptimized : t
+(** SwapVA with no internal optimizations and naive per-call broadcast
+    shootdowns — the Fig. 8/9 baseline. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on inconsistent settings (e.g. [Local_pinned]
+    flushing without [pin_compaction]). *)
+
+val pp : Format.formatter -> t -> unit

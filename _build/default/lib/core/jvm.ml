@@ -1,0 +1,109 @@
+open Svagc_vmem
+open Svagc_heap
+module Process = Svagc_kernel.Process
+module Gc_intf = Svagc_gc.Gc_intf
+module Gc_stats = Svagc_gc.Gc_stats
+
+exception Out_of_memory
+
+type t = {
+  name : string;
+  proc : Process.t;
+  heap : Heap.t;
+  collector : Gc_intf.t;
+  tlab_bytes : int;
+  tlabs : (int, Tlab.t) Hashtbl.t;
+  app_clock : Clock.t;
+  gc_clock : Clock.t;
+  mutable measure_core : int option;
+}
+
+let create machine ~name ~heap_bytes ?(threshold_pages = 10)
+    ?(stamp_headers = true) ?(tlab_bytes = 256 * 1024) ~collector_of () =
+  let proc = Process.create ~name machine in
+  let heap =
+    Heap.create proc ~threshold_pages ~stamp_headers ~size_bytes:heap_bytes ()
+  in
+  {
+    name;
+    proc;
+    heap;
+    collector = collector_of heap;
+    tlab_bytes;
+    tlabs = Hashtbl.create 16;
+    app_clock = Clock.create ();
+    gc_clock = Clock.create ();
+    measure_core = None;
+  }
+
+let name t = t.name
+let heap t = t.heap
+let proc t = t.proc
+let machine t = Process.machine t.proc
+let collector t = t.collector
+
+let retire_tlabs t =
+  Hashtbl.iter (fun _ tlab -> Tlab.retire tlab) t.tlabs;
+  Hashtbl.reset t.tlabs
+
+(* Post-GC cost visible to the application: the mutator's working set was
+   flushed from the TLBs, so the first touches after the pause re-walk. *)
+let post_gc_app_penalty t =
+  let machine = Process.machine t.proc in
+  let tlb_entries = 64.0 in
+  tlb_entries *. machine.Machine.cost.Cost_model.tlb_refill_ns
+
+let run_gc t =
+  retire_tlabs t;
+  let cycle = Gc_intf.collect t.collector in
+  Clock.advance t.gc_clock (Gc_stats.pause_ns cycle);
+  (* Concurrent GC work (Shenandoah-style marking) steals app time. *)
+  Clock.advance t.app_clock cycle.Gc_stats.concurrent_ns;
+  Clock.advance t.app_clock (post_gc_app_penalty t);
+  cycle
+
+let tlab_for t thread =
+  match Hashtbl.find_opt t.tlabs thread with
+  | Some tlab -> tlab
+  | None ->
+    let tlab = Tlab.create t.heap ~thread_id:thread ~chunk_bytes:t.tlab_bytes in
+    Hashtbl.replace t.tlabs thread tlab;
+    tlab
+
+let alloc_once t ~thread ~size ~n_refs ~cls =
+  match thread with
+  | Some thread -> Tlab.alloc (tlab_for t thread) ~size ~n_refs ~cls
+  | None -> Heap.alloc t.heap ~size ~n_refs ~cls
+
+let alloc_cost_ns = 25.0 (* bump pointer + header initialization *)
+
+let alloc ?thread t ~size ~n_refs ~cls =
+  Clock.advance t.app_clock alloc_cost_ns;
+  match alloc_once t ~thread ~size ~n_refs ~cls with
+  | obj -> obj
+  | exception Heap.Heap_full -> (
+    ignore (run_gc t);
+    match alloc_once t ~thread ~size ~n_refs ~cls with
+    | obj -> obj
+    | exception Heap.Heap_full -> raise Out_of_memory)
+
+let set_measure_core t core = t.measure_core <- core
+
+let measure_core t = t.measure_core
+
+let charge_app_ns t ns = Clock.advance t.app_clock ns
+
+let charge_app_mem t ~bytes =
+  let machine = Process.machine t.proc in
+  let bw =
+    Cost_model.contended_bw machine.Machine.cost
+      ~streams:machine.Machine.copy_streams
+      ~bw:machine.Machine.cost.Cost_model.dram_copy_bw
+  in
+  Clock.advance t.app_clock (float_of_int bytes /. bw)
+
+let app_ns t = Clock.now_ns t.app_clock
+let gc_ns t = Clock.now_ns t.gc_clock
+let total_ns t = app_ns t +. gc_ns t
+let gc_count t = List.length (Gc_intf.cycles t.collector)
+let cycles t = Gc_intf.cycles t.collector

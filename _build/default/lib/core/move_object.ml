@@ -1,0 +1,120 @@
+open Svagc_heap
+module Addr = Svagc_vmem.Addr
+module Machine = Svagc_vmem.Machine
+module Cost_model = Svagc_vmem.Cost_model
+module Process = Svagc_kernel.Process
+module Swapva = Svagc_kernel.Swapva
+module Memmove = Svagc_kernel.Memmove
+module Shootdown = Svagc_kernel.Shootdown
+module Compact = Svagc_gc.Compact
+
+(* Byte-based, to agree exactly with the allocator's IfSwapAlign test: the
+   paper's Algorithm 3 writes the threshold both as pages >= T (MoveObject)
+   and |object| >= T*|PAGE| (IfSwapAlign); only objects that satisfied the
+   latter at allocation time are page-aligned and safely swappable. *)
+let should_swap (cfg : Config.t) ~len =
+  len >= cfg.threshold_pages * Addr.page_size
+
+let swap_opts (cfg : Config.t) =
+  {
+    Swapva.pmd_caching = cfg.pmd_caching;
+    flush = cfg.flush;
+    allow_overlap = cfg.allow_overlap;
+  }
+
+(* Flush a pending batch of swap requests and return the per-entry cost
+   attribution (proportional to page counts, the dominant term). *)
+let flush_batch proc ~opts ~aggregated batch =
+  match batch with
+  | [] -> []
+  | requests ->
+    let total =
+      if aggregated then Swapva.swap_aggregated proc ~opts requests
+      else Swapva.swap_separated proc ~opts requests
+    in
+    let total_pages =
+      List.fold_left (fun acc r -> acc + r.Swapva.pages) 0 requests
+    in
+    List.map
+      (fun r ->
+        total *. float_of_int r.Swapva.pages /. float_of_int (max 1 total_pages))
+      requests
+
+let mover ?measure_core (cfg : Config.t) =
+  Config.validate cfg;
+  let prologue heap =
+    let proc = Heap.proc heap in
+    if cfg.pin_compaction then begin
+      let machine = Process.machine proc in
+      let pin_cost = Process.pin proc ~core:(Process.current_core proc) in
+      let flush_cost =
+        Shootdown.cycle_prologue machine
+          ~asid:(Svagc_vmem.Address_space.asid (Process.aspace proc))
+          ~core:(Process.current_core proc) Shootdown.Local_pinned
+      in
+      pin_cost +. flush_cost
+    end
+    else 0.0
+  in
+  let epilogue heap =
+    let proc = Heap.proc heap in
+    if cfg.pin_compaction then Process.unpin proc else 0.0
+  in
+  let move_entries heap entries =
+    let proc = Heap.proc heap in
+    let aspace = Process.aspace proc in
+    let opts = swap_opts cfg in
+    let out = Svagc_util.Vec.create () in
+    (* Runs of consecutive swappable moves become one aggregated call;
+       order across runs and memmoves is preserved, so the sliding
+       invariant holds. *)
+    let pending = ref [] in
+    let pending_count = ref 0 in
+    let flush_pending () =
+      let costs =
+        flush_batch proc ~opts ~aggregated:cfg.aggregation (List.rev !pending)
+      in
+      List.iter
+        (fun cost_ns ->
+          Svagc_util.Vec.push out { Compact.cost_ns; swapped = true })
+        costs;
+      pending := [];
+      pending_count := 0
+    in
+    List.iter
+      (fun { Compact.src; dst; len; _ } ->
+        if should_swap cfg ~len then begin
+          assert (Addr.is_page_aligned src && Addr.is_page_aligned dst);
+          let pages = Addr.pages_spanned len in
+          pending := { Swapva.src; dst; pages } :: !pending;
+          incr pending_count;
+          if !pending_count >= cfg.aggregation_batch then flush_pending ()
+        end
+        else begin
+          flush_pending ();
+          let cost_ns = Memmove.move ?measure_core ~cold:true aspace ~src ~dst ~len in
+          Svagc_util.Vec.push out { Compact.cost_ns; swapped = false }
+        end)
+      entries;
+    flush_pending ();
+    Svagc_util.Vec.to_list out
+  in
+  { Compact.mover_name = "swapva"; prologue; move_entries; epilogue }
+
+let move_cost_ns (cfg : Config.t) heap ~len =
+  let machine = Process.machine (Heap.proc heap) in
+  let cost = machine.Machine.cost in
+  if should_swap cfg ~len then begin
+    let pages = Addr.pages_spanned len in
+    let per_page =
+      (* getPTE x2 (cached or walk) + lock pairs + two slot reads and two
+         writes: mirrors Swapva.swap_disjoint_body. *)
+      let pte = cost.Cost_model.pt_entry_ns in
+      let get = if cfg.pmd_caching then pte else Cost_model.walk_cost_ns cost in
+      (2.0 *. get) +. (2.0 *. cost.Cost_model.lock_pair_ns) +. (4.0 *. pte)
+    in
+    cost.Cost_model.syscall_ns +. cost.Cost_model.swap_setup_ns
+    +. (float_of_int pages *. per_page)
+    +. cost.Cost_model.tlb_flush_local_ns
+  end
+  else Memmove.cost_ns ~cold:true machine ~len

@@ -1,0 +1,20 @@
+(** Algorithm 3 [MoveObject] as a compaction mover: objects spanning at
+    least [threshold_pages] pages move by swapping their PTEs (batched into
+    aggregated SwapVA calls when enabled), everything else falls back to
+    byte copy.  With [pin_compaction] the mover implements Algorithm 4:
+    pin, one up-front all-core shootdown, local-only flushes per call,
+    unpin. *)
+
+open Svagc_heap
+
+val should_swap : Config.t -> len:int -> bool
+(** The [pages >= Threshold_Swapping] test. *)
+
+val move_cost_ns : Config.t -> Heap.t -> len:int -> float
+(** Analytic cost of moving one object of [len] bytes under the current
+    machine state, without side effects (used for threshold sweeps). *)
+
+val mover : ?measure_core:int -> Config.t -> Svagc_gc.Compact.mover
+(** [measure_core] routes the byte-copy fallback's traffic through the
+    cache/TLB models; PTE-swapped moves touch no data lines, which is the
+    Table III contrast. *)

@@ -1,0 +1,32 @@
+open Svagc_vmem
+
+type t = {
+  machine : Machine.t;
+  jvms : Jvm.t array;
+}
+
+let create machine ~instances ~spawn =
+  if instances <= 0 then invalid_arg "Multi_jvm.create: need at least one instance";
+  let jvms = Array.init instances (fun index -> spawn ~index machine) in
+  machine.Machine.copy_streams <- instances;
+  { machine; jvms }
+
+let jvms t = t.jvms
+
+let run_round_robin t ~steps ~step =
+  for s = 0 to steps - 1 do
+    Array.iter (fun jvm -> step jvm s) t.jvms
+  done
+
+let max_total_ns t =
+  Array.fold_left (fun acc jvm -> Float.max acc (Jvm.total_ns jvm)) 0.0 t.jvms
+
+let avg_over t f =
+  let sum = Array.fold_left (fun acc jvm -> acc +. f jvm) 0.0 t.jvms in
+  sum /. float_of_int (Array.length t.jvms)
+
+let avg_gc_ns t = avg_over t Jvm.gc_ns
+
+let avg_app_ns t = avg_over t Jvm.app_ns
+
+let release t = t.machine.Machine.copy_streams <- 1

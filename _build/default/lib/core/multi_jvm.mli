@@ -1,0 +1,32 @@
+(** Co-running JVM instances on one machine (Figs. 2 and 14).
+
+    All instances share the machine's copy bandwidth: while [k] instances
+    run, every byte-copy (GC compaction or application traffic) sees
+    [machine_copy_bw / k].  SwapVA compaction needs almost no bandwidth, so
+    SVAGC degrades far more slowly than byte-copy collectors — that
+    divergence is the paper's scalability result. *)
+
+open Svagc_vmem
+
+type t
+
+val create :
+  Machine.t -> instances:int -> spawn:(index:int -> Machine.t -> Jvm.t) -> t
+(** Spawns [instances] JVMs and sets the machine's contention level. *)
+
+val jvms : t -> Jvm.t array
+
+val run_round_robin : t -> steps:int -> step:(Jvm.t -> int -> unit) ->
+  unit
+(** Interleave [steps] iterations across the instances: step s goes to
+    every JVM in turn ([step jvm s]). *)
+
+val max_total_ns : t -> float
+(** Wall-clock of the co-run: the slowest instance. *)
+
+val avg_gc_ns : t -> float
+
+val avg_app_ns : t -> float
+
+val release : t -> unit
+(** Reset the machine's contention level to 1. *)

@@ -1,0 +1,17 @@
+open Svagc_heap
+module Lisp2 = Svagc_gc.Lisp2
+
+let collector ?(config = Config.default) heap =
+  Config.validate config;
+  if Heap.threshold_pages heap <> config.Config.threshold_pages then
+    invalid_arg
+      "Svagc.collector: heap and config disagree on the swapping threshold";
+  let cfg =
+    Lisp2.config ~label:"svagc" ~threads:config.Config.gc_threads
+      ~mover:(Move_object.mover config) ()
+  in
+  Lisp2.collector cfg heap
+
+let baseline_collector ?(threads = Config.default.Config.gc_threads) heap =
+  let cfg = Lisp2.config ~label:"lisp2-memmove" ~threads () in
+  Lisp2.collector cfg heap

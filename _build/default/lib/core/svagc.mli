@@ -1,0 +1,13 @@
+(** SVAGC: the paper's scalable full garbage collector — parallel LISP2
+    phases with SwapVA-based compaction (Algorithms 3 and 4). *)
+
+open Svagc_heap
+
+val collector : ?config:Config.t -> Heap.t -> Svagc_gc.Gc_intf.t
+(** A collector using {!Config.default} unless overridden.  The heap's
+    swapping threshold should match [config.threshold_pages] (allocation
+    alignment and move eligibility must agree); this is checked. *)
+
+val baseline_collector : ?threads:int -> Heap.t -> Svagc_gc.Gc_intf.t
+(** The paper's "-SwapVA" bar: the identical parallel LISP2 engine with
+    memmove-only compaction (Fig. 11 left bars). *)

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Addr Address_space Cost_model Exp_common Gc List Machine Printf Svagc_core Svagc_kernel Svagc_metrics Svagc_util Svagc_vmem Svagc_workloads

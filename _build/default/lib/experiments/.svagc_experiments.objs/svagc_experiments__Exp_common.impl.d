@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Cost_model Hashtbl List Machine Svagc_core Svagc_gc Svagc_util Svagc_vmem Svagc_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Svagc_gc Svagc_heap Svagc_vmem Svagc_workloads

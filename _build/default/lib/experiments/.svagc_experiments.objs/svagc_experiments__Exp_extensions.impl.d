@@ -1,0 +1,1 @@
+lib/experiments/exp_extensions.ml: Addr Array Cost_model Exp_common Machine Printf Svagc_core Svagc_gc Svagc_heap Svagc_kernel Svagc_metrics Svagc_util Svagc_vmem Svagc_workloads

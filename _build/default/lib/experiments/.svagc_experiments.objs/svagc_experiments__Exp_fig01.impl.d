@@ -1,0 +1,1 @@
+lib/experiments/exp_fig01.ml: Exp_common List Printf Svagc_gc Svagc_metrics Svagc_vmem Svagc_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig08.ml: Address_space Cost_model Float List Machine Svagc_kernel Svagc_metrics Svagc_vmem

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig10.ml: Addr Address_space Cost_model List Machine Option Printf Svagc_kernel Svagc_metrics Svagc_vmem

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig13.ml: Exp_common List Svagc_gc Svagc_metrics Svagc_workloads

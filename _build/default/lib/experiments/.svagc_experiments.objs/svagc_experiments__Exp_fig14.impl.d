@@ -1,0 +1,1 @@
+lib/experiments/exp_fig14.ml: Exp_common Exp_multi List Printf Svagc_metrics

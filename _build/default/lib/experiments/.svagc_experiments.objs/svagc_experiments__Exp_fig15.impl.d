@@ -1,0 +1,1 @@
+lib/experiments/exp_fig15.ml: Exp_common List Printf Svagc_metrics Svagc_util Svagc_workloads

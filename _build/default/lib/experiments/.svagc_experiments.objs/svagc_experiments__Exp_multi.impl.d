@@ -1,0 +1,1 @@
+lib/experiments/exp_multi.ml: Array Cost_model Exp_common Float Gc List Machine Printf Svagc_core Svagc_gc Svagc_metrics Svagc_util Svagc_vmem Svagc_workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_multi.mli: Exp_common

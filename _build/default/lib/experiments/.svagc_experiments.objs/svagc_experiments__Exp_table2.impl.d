@@ -1,0 +1,1 @@
+lib/experiments/exp_table2.ml: Svagc_metrics Svagc_workloads

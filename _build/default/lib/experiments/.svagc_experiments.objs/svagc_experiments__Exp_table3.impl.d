@@ -1,0 +1,1 @@
+lib/experiments/exp_table3.ml: Cache_sim Cost_model Exp_common Gc List Machine Printf Svagc_core Svagc_gc Svagc_metrics Svagc_util Svagc_vmem Svagc_workloads Tlb

@@ -1,0 +1,56 @@
+module Runner = Svagc_workloads.Runner
+module Gc_stats = Svagc_gc.Gc_stats
+module Report = Svagc_metrics.Report
+module Table = Svagc_metrics.Table
+
+type row = {
+  benchmark : string;
+  mark_pct : float;
+  forward_pct : float;
+  adjust_pct : float;
+  compact_pct : float;
+}
+
+let measure ~quick =
+  List.map
+    (fun workload ->
+      let machine = Exp_common.fresh_machine Svagc_vmem.Cost_model.i5_7600 in
+      let steps = if quick then 40 else 80 in
+      let r =
+        Runner.run ~machine ~steps ~min_gcs:4
+          ~collector_of:(Exp_common.collector_of Exp_common.Lisp2_memmove)
+          workload
+      in
+      let sum f = List.fold_left (fun acc c -> acc +. f c) 0.0 r.Runner.cycles in
+      let total = sum Gc_stats.pause_ns in
+      let pct f = if total > 0.0 then 100.0 *. sum f /. total else 0.0 in
+      {
+        benchmark = r.Runner.workload;
+        mark_pct = pct (fun c -> c.Gc_stats.mark_ns);
+        forward_pct = pct (fun c -> c.Gc_stats.forward_ns);
+        adjust_pct = pct (fun c -> c.Gc_stats.adjust_ns);
+        compact_pct = pct (fun c -> c.Gc_stats.compact_ns);
+      })
+    [ Svagc_workloads.Fft.large; Svagc_workloads.Sparse.large ]
+
+let run ?(quick = false) () =
+  Report.section "Fig. 1 - Full GC phase breakdown (i5-7600, LISP2+memmove)";
+  let rows = measure ~quick in
+  Table.print
+    ~headers:[ "benchmark"; "mark%"; "forward%"; "adjust%"; "compact%" ]
+    (List.map
+       (fun r ->
+         [
+           r.benchmark;
+           Printf.sprintf "%.2f" r.mark_pct;
+           Printf.sprintf "%.2f" r.forward_pct;
+           Printf.sprintf "%.2f" r.adjust_pct;
+           Printf.sprintf "%.2f" r.compact_pct;
+         ])
+       rows);
+  Report.paper_vs_measured
+    (List.map
+       (fun r ->
+         let paper = if r.benchmark = "FFT.large" then "84.76%" else "79.33%" in
+         (r.benchmark ^ " compaction share", paper, Report.pct r.compact_pct))
+       rows)

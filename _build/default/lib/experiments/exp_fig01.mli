@@ -1,0 +1,17 @@
+(** Fig. 1 — execution-time breakdown of the full-GC phases.
+
+    Paper: on the i5-7600, compaction accounts for 79.33% of full-GC time
+    in Sparse.large and 84.76% in FFT.large under the adapted LISP2
+    prototype (memmove). *)
+
+type row = {
+  benchmark : string;
+  mark_pct : float;
+  forward_pct : float;
+  adjust_pct : float;
+  compact_pct : float;
+}
+
+val measure : quick:bool -> row list
+
+val run : ?quick:bool -> unit -> unit

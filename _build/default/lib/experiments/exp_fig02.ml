@@ -1,0 +1,24 @@
+(** Fig. 2 — the scalability problem: co-running LRU-cache JVMs under
+    ParallelGC (4 GC threads each).  Both GC latency (max and total) and
+    application execution time climb steeply with the JVM count. *)
+
+module Report = Svagc_metrics.Report
+
+let measure ?steps () =
+  Exp_multi.sweep ~collector:Exp_common.Parallelgc ?steps ()
+
+let run ?(quick = false) () =
+  Report.section
+    "Fig. 2 - Scalability issue: multi-JVM LRU cache under ParallelGC";
+  let points = measure ~steps:(if quick then 20 else 40) () in
+  Exp_multi.print_points points;
+  let last = List.nth points (List.length points - 1) in
+  Report.paper_vs_measured
+    [
+      ( "app time at 32 JVMs",
+        "increases significantly",
+        Printf.sprintf "+%.1f%%" last.Exp_multi.app_increase_pct );
+      ( "GC time at 32 JVMs",
+        "increases significantly",
+        Printf.sprintf "+%.1f%%" last.Exp_multi.gc_increase_pct );
+    ]

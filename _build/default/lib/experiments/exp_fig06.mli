@@ -1,0 +1,16 @@
+(** Fig. 6 — aggregated vs separated SwapVA calls (i5-7600).
+
+    N small swap requests issued as N syscalls versus one aggregated
+    syscall; the benefit shrinks as the per-request page count grows and
+    the syscall crossing amortizes naturally. *)
+
+type point = {
+  pages_per_request : int;
+  separated_ns : float;
+  aggregated_ns : float;
+  improvement_pct : float;
+}
+
+val measure : ?requests:int -> unit -> point list
+
+val run : ?quick:bool -> unit -> unit

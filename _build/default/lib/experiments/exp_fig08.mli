@@ -1,0 +1,16 @@
+(** Fig. 8 — benefits of PMD caching (i5-7600).
+
+    Multi-page swaps with and without the cached-leaf optimization.
+    Paper: up to 52.48% improvement, 36.73% on average for multi-page
+    copies. *)
+
+type point = {
+  pages : int;
+  uncached_ns : float;
+  cached_ns : float;
+  improvement_pct : float;
+}
+
+val measure : unit -> point list
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,19 @@
+(** Fig. 9 — multi-core optimizations to SwapVA (Xeon 6130).
+
+    A compaction-style storm of 100 live swappable objects: the
+    unoptimized kernel broadcasts a TLB shootdown per SwapVA call, while
+    Algorithm 4 pins the collector, broadcasts once per cycle and flushes
+    locally per call.  Eq. 2 predicts the IPI count drops from l*c to c
+    (gain = l = 100). *)
+
+type point = {
+  cores : int;
+  unoptimized_ns : float;
+  optimized_ns : float;
+  unoptimized_ipis : int;
+  optimized_ipis : int;
+}
+
+val measure : ?objects:int -> ?pages_per_object:int -> unit -> point list
+
+val run : ?quick:bool -> unit -> unit

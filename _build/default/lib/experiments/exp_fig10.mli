@@ -1,0 +1,23 @@
+(** Fig. 10 — the SwapVA/memmove break-even threshold on two machines.
+
+    Sweeps the object size in pages and compares a hot memmove against one
+    SwapVA call (single-threaded driver).  The paper finds ~10 pages on
+    the Xeon 6130 and uses that as [Threshold_Swapping]; the 6240's faster
+    CPU and memory shift the crossover. *)
+
+type point = {
+  pages : int;
+  memmove_ns : float;
+  swapva_ns : float;
+}
+
+type sweep = {
+  machine : string;
+  points : point list;
+  crossover_pages : int option;  (** first size where SwapVA wins *)
+}
+
+val measure : unit -> sweep list
+(** One sweep per machine: Xeon 6130 (Fig. 10a) and Xeon 6240 (10b). *)
+
+val run : ?quick:bool -> unit -> unit

@@ -1,0 +1,31 @@
+(** Fig. 14 — SVAGC's multi-JVM scalability on the same LRU-cache co-run
+    as Fig. 2.  Paper: going from 1 to 32 JVMs the application time surges
+    327.5% while the GC time grows only 52% — SwapVA compaction needs
+    almost no memory bandwidth, so it dodges the contention that the
+    application (and byte-copy collectors) suffer. *)
+
+module Report = Svagc_metrics.Report
+
+let measure ?steps () = Exp_multi.sweep ~collector:Exp_common.Svagc ?steps ()
+
+let run ?(quick = false) () =
+  Report.section "Fig. 14 - SVAGC scalability, single vs multi-JVM (32 cores)";
+  let points = measure ~steps:(if quick then 20 else 40) () in
+  Exp_multi.print_points points;
+  let last = List.nth points (List.length points - 1) in
+  Report.paper_vs_measured
+    [
+      ( "app time increase at 32 JVMs",
+        "+327.5%",
+        Printf.sprintf "+%.1f%%" last.Exp_multi.app_increase_pct );
+      ( "GC time increase at 32 JVMs",
+        "+52%",
+        Printf.sprintf "+%.1f%%" last.Exp_multi.gc_increase_pct );
+      ( "GC grows much slower than app",
+        "yes",
+        (if
+           last.Exp_multi.gc_increase_pct
+           < last.Exp_multi.app_increase_pct /. 2.0
+         then "yes"
+         else "no") );
+    ]

@@ -1,0 +1,18 @@
+(** Shared driver for the multi-JVM scalability experiments (Figs. 2 and
+    14): J co-running LRU-cache instances on the 32-core machine, sharing
+    copy bandwidth. *)
+
+type point = {
+  instances : int;
+  avg_app_ns : float;
+  avg_gc_total_ns : float;
+  max_gc_pause_ns : float;
+  app_increase_pct : float;  (** vs the 1-instance point *)
+  gc_increase_pct : float;
+}
+
+val sweep :
+  collector:Exp_common.collector_kind -> ?steps:int -> ?instances:int list ->
+  unit -> point list
+
+val print_points : point list -> unit

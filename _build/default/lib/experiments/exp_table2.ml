@@ -1,0 +1,15 @@
+(** Table II — benchmark configurations: the paper's thread counts and
+    heap ranges next to this reproduction's scaled heaps (object *sizes*
+    are kept at paper scale; counts are scaled down — DESIGN.md §1). *)
+
+module Report = Svagc_metrics.Report
+module Table = Svagc_metrics.Table
+
+let run ?quick:_ () =
+  Report.section "Table II - Benchmark configurations";
+  Table.print
+    ~headers:[ "benchmark"; "suite"; "paper threads"; "paper heap (GiB)"; "sim min heap" ]
+    (Svagc_workloads.Spec.table_ii_rows ());
+  Report.note
+    "runs use 1.2x and 2x of the sim min heap, mirroring the paper's heap \
+     factors"

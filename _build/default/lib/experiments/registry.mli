@@ -1,0 +1,14 @@
+(** All paper reproductions plus extensions, addressable by id
+    ("fig1" ... "table3", "ablation"). *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> unit;
+}
+
+val all : experiment list
+
+val find : string -> experiment option
+
+val run_all : ?quick:bool -> unit -> unit

@@ -1,0 +1,1 @@
+lib/gc/adjust.ml: Array Heap List Obj_model Printf Svagc_heap Svagc_kernel Svagc_par Svagc_vmem

@@ -1,0 +1,1 @@
+lib/gc/adjust.mli: Heap Obj_model Svagc_heap

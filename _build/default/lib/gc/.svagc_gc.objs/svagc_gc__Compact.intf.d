@@ -1,0 +1,1 @@
+lib/gc/compact.mli: Heap Obj_model Svagc_heap

@@ -1,0 +1,1 @@
+lib/gc/epsilon.ml: Gc_intf Gc_stats

@@ -1,0 +1,1 @@
+lib/gc/epsilon.mli: Gc_intf Heap Svagc_heap

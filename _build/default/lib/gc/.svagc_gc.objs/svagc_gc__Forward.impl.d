@@ -1,0 +1,1 @@
+lib/gc/forward.ml: Array Heap List Obj_model Svagc_heap Svagc_kernel Svagc_par Svagc_util Svagc_vmem

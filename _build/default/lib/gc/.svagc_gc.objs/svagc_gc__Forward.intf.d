@@ -1,0 +1,1 @@
+lib/gc/forward.mli: Heap Obj_model Svagc_heap

@@ -1,0 +1,1 @@
+lib/gc/gc_intf.ml: Gc_stats Heap Svagc_heap Svagc_kernel Svagc_util Svagc_vmem

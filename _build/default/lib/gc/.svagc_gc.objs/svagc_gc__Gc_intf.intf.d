@@ -1,0 +1,1 @@
+lib/gc/gc_intf.mli: Gc_stats Heap Svagc_heap

@@ -1,0 +1,1 @@
+lib/gc/generational.ml: Array Compact Forward Gc_stats Hashtbl Heap Lisp2 List Obj_model Svagc_heap Svagc_kernel Svagc_par Svagc_util Svagc_vmem

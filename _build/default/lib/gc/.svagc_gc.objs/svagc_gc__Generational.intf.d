@@ -1,0 +1,1 @@
+lib/gc/generational.mli: Compact Gc_stats Heap Obj_model Svagc_heap Svagc_kernel

@@ -1,0 +1,1 @@
+lib/gc/lisp2.ml: Adjust Compact Forward Gc_intf Gc_stats Heap List Mark Obj_model Svagc_heap Svagc_kernel Svagc_vmem

@@ -1,0 +1,1 @@
+lib/gc/lisp2.mli: Compact Gc_intf Gc_stats Heap Svagc_heap

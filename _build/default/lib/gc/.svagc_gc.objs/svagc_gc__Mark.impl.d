@@ -1,0 +1,1 @@
+lib/gc/mark.ml: Array Heap Obj_model Printf Svagc_heap Svagc_kernel Svagc_par Svagc_util Svagc_vmem

@@ -1,0 +1,1 @@
+lib/gc/mark.mli: Heap Obj_model Svagc_heap

@@ -1,0 +1,1 @@
+lib/gc/parallel_gc.ml: Lisp2

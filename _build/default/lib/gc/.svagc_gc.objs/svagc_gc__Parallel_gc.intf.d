@@ -1,0 +1,1 @@
+lib/gc/parallel_gc.mli: Gc_intf Heap Svagc_heap

@@ -1,0 +1,1 @@
+lib/gc/semispace.ml: Array Compact Hashtbl Heap List Obj_model Svagc_heap Svagc_kernel Svagc_par Svagc_util Svagc_vmem

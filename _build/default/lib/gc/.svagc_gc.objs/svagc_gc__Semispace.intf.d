@@ -1,0 +1,1 @@
+lib/gc/semispace.mli: Compact Heap Obj_model Svagc_heap Svagc_kernel

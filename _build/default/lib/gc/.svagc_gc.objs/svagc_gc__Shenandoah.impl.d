@@ -1,0 +1,1 @@
+lib/gc/shenandoah.ml: Lisp2

@@ -1,0 +1,1 @@
+lib/gc/shenandoah.mli: Gc_intf Heap Svagc_heap

@@ -1,0 +1,29 @@
+open Svagc_heap
+module Machine = Svagc_vmem.Machine
+module Cost_model = Svagc_vmem.Cost_model
+
+let run heap ~threads ~live =
+  let machine = Svagc_kernel.Process.machine (Heap.proc heap) in
+  let cost = machine.Machine.cost in
+  let costs =
+    List.rev_map
+      (fun obj ->
+        let refs = obj.Obj_model.refs in
+        Array.iteri
+          (fun i addr ->
+            if addr <> 0 then
+              match Heap.object_at heap addr with
+              | Some target ->
+                if not target.Obj_model.marked then
+                  invalid_arg "Adjust.run: live object references a dead one";
+                refs.(i) <- target.Obj_model.forward
+              | None ->
+                invalid_arg
+                  (Printf.sprintf "Adjust.run: dangling reference 0x%x" addr))
+          refs;
+        cost.Cost_model.adjust_obj_ns
+        +. (float_of_int (Array.length refs) *. cost.Cost_model.ref_scan_ns))
+      live
+  in
+  Svagc_par.Work_steal.makespan ~threads ~steal_ns:cost.Cost_model.steal_ns
+    ~barrier_ns:cost.Cost_model.barrier_ns (Array.of_list costs)

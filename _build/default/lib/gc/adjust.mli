@@ -1,0 +1,11 @@
+(** Phase III — adjusting pointers.
+
+    Every reference slot of every live object is rewritten to the
+    forwarding address its target computed in phase II.  (Roots are OCaml
+    records in this simulator and follow their objects implicitly; the
+    per-object cost still charges the root-set fixups a real VM performs.) *)
+
+open Svagc_heap
+
+val run : Heap.t -> threads:int -> live:Obj_model.t list -> float
+(** Returns the phase time in ns. *)

@@ -1,0 +1,105 @@
+open Svagc_heap
+module Vec = Svagc_util.Vec
+module Machine = Svagc_vmem.Machine
+module Cost_model = Svagc_vmem.Cost_model
+module Process = Svagc_kernel.Process
+
+type entry = {
+  obj : Obj_model.t;
+  src : int;
+  dst : int;
+  len : int;
+}
+
+type move_outcome = {
+  cost_ns : float;
+  swapped : bool;
+}
+
+type mover = {
+  mover_name : string;
+  prologue : Heap.t -> float;
+  move_entries : Heap.t -> entry list -> move_outcome list;
+  epilogue : Heap.t -> float;
+}
+
+type result = {
+  phase_ns : float;
+  moved_objects : int;
+  swapped_objects : int;
+}
+
+let memmove_mover_gen ?measure_core () =
+  {
+    mover_name = "memmove";
+    prologue = (fun _ -> 0.0);
+    move_entries =
+      (fun heap entries ->
+        let aspace = Process.aspace (Heap.proc heap) in
+        List.map
+          (fun { src; dst; len; _ } ->
+            let cost_ns =
+              Svagc_kernel.Memmove.move ?measure_core ~cold:true aspace ~src ~dst
+                ~len
+            in
+            { cost_ns; swapped = false })
+          entries);
+    epilogue = (fun _ -> 0.0);
+  }
+
+let memmove_mover = memmove_mover_gen ()
+
+let memmove_mover_measured ~core = memmove_mover_gen ~measure_core:core ()
+
+let run heap ~threads ~mover ~live ~new_top =
+  let machine = Process.machine (Heap.proc heap) in
+  let cost = machine.Machine.cost in
+  let plan =
+    List.filter_map
+      (fun obj ->
+        let src = obj.Obj_model.addr and dst = obj.Obj_model.forward in
+        if src = dst then None
+        else Some { obj; src; dst; len = obj.Obj_model.size })
+      live
+  in
+  let fixed = mover.prologue heap in
+  (* [threads] copy streams run concurrently during this phase: fold them
+     into the machine's contention level so per-task copy costs reflect
+     each thread's share of the bandwidth ceiling (the makespan then
+     recombines them, saturating at machine_copy_bw). *)
+  let saved_streams = machine.Machine.copy_streams in
+  machine.Machine.copy_streams <- saved_streams * max 1 threads;
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> machine.Machine.copy_streams <- saved_streams)
+      (fun () -> mover.move_entries heap plan)
+  in
+  let fixed = fixed +. mover.epilogue heap in
+  (* Commit the new addresses and re-stamp nothing: bytes moved with the
+     objects, so the stamped headers must still match (tests rely on it). *)
+  List.iter (fun { obj; dst; _ } -> obj.Obj_model.addr <- dst) plan;
+  let swapped_objects =
+    List.fold_left (fun acc o -> if o.swapped then acc + 1 else acc) 0 outcomes
+  in
+  (* Prune dead objects, keep the survivors (already address-ordered). *)
+  let survivors = Vec.of_list live in
+  let objects = Heap.objects heap in
+  Vec.clear objects;
+  Vec.iter
+    (fun o ->
+      o.Obj_model.marked <- false;
+      o.Obj_model.forward <- 0;
+      Vec.push objects o)
+    survivors;
+  Heap.rebuild_index heap;
+  Heap.set_top heap new_top;
+  let costs = Array.of_list (List.map (fun o -> o.cost_ns) outcomes) in
+  let makespan =
+    Svagc_par.Work_steal.makespan ~threads ~steal_ns:cost.Cost_model.steal_ns
+      ~barrier_ns:cost.Cost_model.barrier_ns costs
+  in
+  {
+    phase_ns = makespan +. fixed;
+    moved_objects = List.length plan;
+    swapped_objects;
+  }

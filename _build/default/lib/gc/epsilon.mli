@@ -1,0 +1,11 @@
+(** The Epsilon no-op collector: allocation without reclamation.
+
+    This mirrors the paper's starting point — OpenJDK's Epsilon shim is "a
+    simple memory allocator wrapped by a standard GC interface" which the
+    authors extend with a parallel LISP2.  Collecting with Epsilon frees
+    nothing; when the heap fills, allocation fails for good.  Useful for
+    SwapVA microbenchmarks that need heap plumbing without GC effects. *)
+
+open Svagc_heap
+
+val collector : Heap.t -> Gc_intf.t

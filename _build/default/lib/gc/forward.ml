@@ -1,0 +1,46 @@
+open Svagc_heap
+module Vec = Svagc_util.Vec
+module Addr = Svagc_vmem.Addr
+module Machine = Svagc_vmem.Machine
+module Cost_model = Svagc_vmem.Cost_model
+
+type result = {
+  phase_ns : float;
+  new_top : int;
+  waste_bytes : int;
+  live : Obj_model.t list;
+}
+
+let run heap ~threads =
+  let machine = Svagc_kernel.Process.machine (Heap.proc heap) in
+  let cost = machine.Machine.cost in
+  Heap.sort_objects heap;
+  let threshold = Heap.threshold_pages heap in
+  let if_swap_align obj addr =
+    if Obj_model.is_large obj ~threshold_pages:threshold then Addr.align_up addr
+    else addr
+  in
+  let comp_pnt = ref (Heap.base heap) in
+  let waste = ref 0 in
+  let live_rev = ref [] in
+  let count = ref 0 in
+  Vec.iter
+    (fun obj ->
+      if obj.Obj_model.marked then begin
+        let aligned = if_swap_align obj !comp_pnt in
+        waste := !waste + (aligned - !comp_pnt);
+        obj.Obj_model.forward <- aligned;
+        comp_pnt := aligned + obj.Obj_model.size;
+        let tail_aligned = if_swap_align obj !comp_pnt in
+        waste := !waste + (tail_aligned - !comp_pnt);
+        comp_pnt := tail_aligned;
+        live_rev := obj :: !live_rev;
+        incr count
+      end)
+    (Heap.objects heap);
+  let costs = Array.make !count cost.Cost_model.forward_obj_ns in
+  let phase_ns =
+    Svagc_par.Work_steal.makespan ~threads ~steal_ns:cost.Cost_model.steal_ns
+      ~barrier_ns:cost.Cost_model.barrier_ns costs
+  in
+  { phase_ns; new_top = !comp_pnt; waste_bytes = !waste; live = List.rev !live_rev }

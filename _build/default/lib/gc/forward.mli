@@ -1,0 +1,19 @@
+(** Phase II — forwarding address calculation (Algorithm 3 [CalcNewAdd]).
+
+    Slides every marked object toward the heap base in address order,
+    page-aligning swappable objects before and after placement so that the
+    compaction phase may exchange their pages.  The returned [new_top] is
+    where the heap will end after compaction; [waste] is the alignment
+    fragmentation the new layout will carry (the paper's "<5% of heap"
+    claim). *)
+
+open Svagc_heap
+
+type result = {
+  phase_ns : float;
+  new_top : int;
+  waste_bytes : int;
+  live : Obj_model.t list;  (** marked objects in ascending address order *)
+}
+
+val run : Heap.t -> threads:int -> result

@@ -1,0 +1,80 @@
+type cycle = {
+  mark_ns : float;
+  forward_ns : float;
+  adjust_ns : float;
+  compact_ns : float;
+  concurrent_ns : float;
+  live_objects : int;
+  live_bytes : int;
+  reclaimed_bytes : int;
+  moved_objects : int;
+  swapped_objects : int;
+  bytes_copied : int;
+  bytes_remapped : int;
+}
+
+let pause_ns c = c.mark_ns +. c.forward_ns +. c.adjust_ns +. c.compact_ns
+
+let non_compact_ns c = c.mark_ns +. c.forward_ns +. c.adjust_ns
+
+type summary = {
+  cycles : int;
+  total_pause_ns : float;
+  max_pause_ns : float;
+  avg_pause_ns : float;
+  total_compact_ns : float;
+  total_other_ns : float;
+  total_concurrent_ns : float;
+  total_bytes_copied : int;
+  total_bytes_remapped : int;
+}
+
+let empty_cycle =
+  {
+    mark_ns = 0.0;
+    forward_ns = 0.0;
+    adjust_ns = 0.0;
+    compact_ns = 0.0;
+    concurrent_ns = 0.0;
+    live_objects = 0;
+    live_bytes = 0;
+    reclaimed_bytes = 0;
+    moved_objects = 0;
+    swapped_objects = 0;
+    bytes_copied = 0;
+    bytes_remapped = 0;
+  }
+
+let summarize cycles =
+  let n = List.length cycles in
+  let total_pause = List.fold_left (fun acc c -> acc +. pause_ns c) 0.0 cycles in
+  {
+    cycles = n;
+    total_pause_ns = total_pause;
+    max_pause_ns = List.fold_left (fun acc c -> Float.max acc (pause_ns c)) 0.0 cycles;
+    avg_pause_ns = (if n = 0 then 0.0 else total_pause /. float_of_int n);
+    total_compact_ns = List.fold_left (fun acc c -> acc +. c.compact_ns) 0.0 cycles;
+    total_other_ns = List.fold_left (fun acc c -> acc +. non_compact_ns c) 0.0 cycles;
+    total_concurrent_ns =
+      List.fold_left (fun acc c -> acc +. c.concurrent_ns) 0.0 cycles;
+    total_bytes_copied = List.fold_left (fun acc c -> acc + c.bytes_copied) 0 cycles;
+    total_bytes_remapped =
+      List.fold_left (fun acc c -> acc + c.bytes_remapped) 0 cycles;
+  }
+
+let pp_cycle ppf c =
+  Format.fprintf ppf
+    "pause=%a (mark=%a fwd=%a adj=%a compact=%a) live=%d objs/%d B moved=%d \
+     (swapped=%d) copied=%dB remapped=%dB"
+    Svagc_vmem.Clock.pp_ns (pause_ns c) Svagc_vmem.Clock.pp_ns c.mark_ns
+    Svagc_vmem.Clock.pp_ns c.forward_ns Svagc_vmem.Clock.pp_ns c.adjust_ns
+    Svagc_vmem.Clock.pp_ns c.compact_ns c.live_objects c.live_bytes c.moved_objects
+    c.swapped_objects c.bytes_copied c.bytes_remapped
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "cycles=%d total=%a avg=%a max=%a compact=%a other=%a concurrent=%a"
+    s.cycles Svagc_vmem.Clock.pp_ns s.total_pause_ns Svagc_vmem.Clock.pp_ns
+    s.avg_pause_ns Svagc_vmem.Clock.pp_ns s.max_pause_ns Svagc_vmem.Clock.pp_ns
+    s.total_compact_ns Svagc_vmem.Clock.pp_ns s.total_other_ns
+    Svagc_vmem.Clock.pp_ns s.total_concurrent_ns

@@ -1,0 +1,71 @@
+(** A generational heap with SwapVA-accelerated minor collections — the
+    "Minor (copying)" row of the paper's Table I.
+
+    The young space is a bump-allocated nursery; a minor collection copies
+    every reachable young object into the old space and resets the
+    nursery.  Young and old occupy disjoint address ranges, so:
+
+    - plain SwapVA applies (the ranges never overlap — the Table I "-" for
+      the overlapping optimization),
+    - copies of one minor cycle all happen together, so aggregation
+      applies,
+    - PMD caching applies as always.
+
+    Old-to-young references are found by scanning old objects' reference
+    slots (a remembered set / card table is modeled as a scan cost; the
+    set of discovered roots is exact).  Old-space exhaustion triggers a
+    full LISP2 collection of the old space through any {!Compact.mover}. *)
+
+open Svagc_heap
+
+type t
+
+type minor_stats = {
+  pause_ns : float;
+  promoted_objects : int;
+  promoted_bytes : int;
+  swapped_objects : int;  (** promoted via SwapVA *)
+  reclaimed_bytes : int;
+}
+
+val create :
+  Svagc_kernel.Process.t ->
+  ?threshold_pages:int ->
+  young_bytes:int ->
+  old_bytes:int ->
+  unit ->
+  t
+
+val young : t -> Heap.t
+
+val old_space : t -> Heap.t
+
+exception Out_of_memory
+
+val alloc : t -> size:int -> n_refs:int -> cls:int -> Obj_model.t
+(** Allocate in the nursery; a full nursery triggers a minor collection
+    (and, if promotion fills the old space, a full collection).
+    @raise Out_of_memory when even that does not help. *)
+
+val add_root : t -> Obj_model.t -> unit
+(** Root an object wherever it currently lives. *)
+
+val remove_root : t -> Obj_model.t -> unit
+
+val set_ref : t -> Obj_model.t -> slot:int -> Obj_model.t option -> unit
+
+val deref : t -> Obj_model.t -> slot:int -> Obj_model.t option
+(** Resolves across both spaces. *)
+
+val minor : t -> mover:Compact.mover -> minor_stats
+(** One minor collection: trace the nursery from its roots plus the
+    old-to-young references, promote survivors (moved through [mover]:
+    SwapVA for page-aligned large objects, memmove otherwise), reset the
+    nursery. *)
+
+val full : t -> mover:Compact.mover -> Gc_stats.cycle
+(** Full LISP2 collection of the old space. *)
+
+val minors : t -> minor_stats list
+
+val fulls : t -> Gc_stats.cycle list

@@ -1,0 +1,60 @@
+open Svagc_heap
+module Machine = Svagc_vmem.Machine
+module Perf = Svagc_vmem.Perf
+
+type config = {
+  label : string;
+  threads : int;
+  compact_threads : int;
+  mover : Compact.mover;
+  concurrent_mark_fraction : float;
+}
+
+let config ?(label = "lisp2") ?(threads = 4) ?compact_threads
+    ?(mover = Compact.memmove_mover) ?(concurrent_mark_fraction = 0.0) () =
+  if threads <= 0 then invalid_arg "Lisp2.config: threads must be positive";
+  if concurrent_mark_fraction < 0.0 || concurrent_mark_fraction > 1.0 then
+    invalid_arg "Lisp2.config: fraction out of range";
+  {
+    label;
+    threads;
+    compact_threads =
+      (match compact_threads with Some c -> c | None -> threads);
+    mover;
+    concurrent_mark_fraction;
+  }
+
+let collect cfg heap =
+  let machine = Svagc_kernel.Process.machine (Heap.proc heap) in
+  let before = Perf.copy machine.Machine.perf in
+  let top_before = Heap.top heap in
+  let mark_total = Mark.run heap ~threads:cfg.threads in
+  let concurrent_ns = mark_total *. cfg.concurrent_mark_fraction in
+  let mark_ns = mark_total -. concurrent_ns in
+  let fwd = Forward.run heap ~threads:cfg.threads in
+  let adjust_ns = Adjust.run heap ~threads:cfg.threads ~live:fwd.Forward.live in
+  let live_objects = List.length fwd.Forward.live in
+  let live_bytes =
+    List.fold_left (fun acc o -> acc + o.Obj_model.size) 0 fwd.Forward.live
+  in
+  let compact =
+    Compact.run heap ~threads:cfg.compact_threads ~mover:cfg.mover
+      ~live:fwd.Forward.live ~new_top:fwd.Forward.new_top
+  in
+  let delta = Perf.diff ~after:machine.Machine.perf ~before in
+  {
+    Gc_stats.mark_ns;
+    forward_ns = fwd.Forward.phase_ns;
+    adjust_ns;
+    compact_ns = compact.Compact.phase_ns;
+    concurrent_ns;
+    live_objects;
+    live_bytes;
+    reclaimed_bytes = max 0 (top_before - fwd.Forward.new_top);
+    moved_objects = compact.Compact.moved_objects;
+    swapped_objects = compact.Compact.swapped_objects;
+    bytes_copied = delta.Perf.bytes_copied;
+    bytes_remapped = delta.Perf.bytes_remapped;
+  }
+
+let collector cfg heap = Gc_intf.make ~name:cfg.label heap (fun () -> collect cfg heap)

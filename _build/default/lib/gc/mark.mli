@@ -1,0 +1,16 @@
+(** Phase I — marking.
+
+    Depth-first traversal from the roots setting the mark bit of every
+    reachable object.  Cost per visited object is one dependent memory
+    access (graph walks are cache-hostile) plus one scan per reference
+    slot; the phase time is the work-stealing makespan across the GC
+    threads. *)
+
+open Svagc_heap
+
+val run : Heap.t -> threads:int -> float
+(** Marks reachable objects in place and returns the phase time in ns.
+    All mark bits are cleared first. *)
+
+val live_objects : Heap.t -> Obj_model.t list
+(** Marked objects, in arbitrary order (valid after {!run}). *)

@@ -1,0 +1,3 @@
+let collector ?(threads = 4) heap =
+  let cfg = Lisp2.config ~label:"parallelgc" ~threads () in
+  Lisp2.collector cfg heap

@@ -1,0 +1,197 @@
+open Svagc_heap
+module Addr = Svagc_vmem.Addr
+module Machine = Svagc_vmem.Machine
+module Cost_model = Svagc_vmem.Cost_model
+module Vec = Svagc_util.Vec
+module Process = Svagc_kernel.Process
+
+type t = {
+  proc : Process.t;
+  heap : Heap.t;
+  space_bytes : int;
+  concurrent_fraction : float;
+  threads : int;
+  mutable low_active : bool;
+  mutable cycles : cycle_stats list;
+}
+
+and cycle_stats = {
+  pause_ns : float;
+  concurrent_ns : float;
+  evacuated_objects : int;
+  swapped_objects : int;
+  reclaimed_bytes : int;
+}
+
+exception Out_of_memory
+
+let create proc ?(threshold_pages = 10) ?(concurrent_fraction = 0.9)
+    ?(threads = 4) ~space_bytes () =
+  if concurrent_fraction < 0.0 || concurrent_fraction > 1.0 then
+    invalid_arg "Semispace.create: fraction out of range";
+  let heap =
+    Heap.create proc ~threshold_pages ~size_bytes:(2 * Addr.align_up space_bytes)
+      ()
+  in
+  {
+    proc;
+    heap;
+    space_bytes = Addr.align_up space_bytes;
+    concurrent_fraction;
+    threads;
+    low_active = true;
+    cycles = [];
+  }
+
+let heap t = t.heap
+let cycles t = List.rev t.cycles
+
+let active_base t =
+  if t.low_active then Heap.base t.heap else Heap.base t.heap + t.space_bytes
+
+let active_limit t = active_base t + t.space_bytes
+
+let cost t = (Process.machine t.proc).Machine.cost
+
+let makespan t costs =
+  Svagc_par.Work_steal.makespan ~threads:t.threads
+    ~steal_ns:(cost t).Cost_model.steal_ns
+    ~barrier_ns:(cost t).Cost_model.barrier_ns (Array.of_list costs)
+
+let mark t =
+  Vec.iter (fun o -> o.Obj_model.marked <- false) (Heap.objects t.heap);
+  let costs = Vec.create () in
+  let stack = Vec.create () in
+  Heap.iter_roots t.heap (fun o -> Vec.push stack o);
+  let rec drain () =
+    match Vec.pop stack with
+    | None -> ()
+    | Some o ->
+      if not o.Obj_model.marked then begin
+        o.Obj_model.marked <- true;
+        Vec.push costs
+          ((cost t).Cost_model.mark_obj_ns
+          +. float_of_int (Array.length o.Obj_model.refs)
+             *. (cost t).Cost_model.ref_scan_ns);
+        Array.iter
+          (fun addr ->
+            if addr <> 0 then
+              match Heap.object_at t.heap addr with
+              | Some target ->
+                if not target.Obj_model.marked then Vec.push stack target
+              | None -> invalid_arg "Semispace: dangling reference")
+          o.Obj_model.refs
+      end;
+      drain ()
+  in
+  drain ();
+  makespan t (Vec.to_list costs)
+
+let collect t ~mover =
+  let used_before = Heap.top t.heap - active_base t in
+  let mark_ns = mark t in
+  Heap.sort_objects t.heap;
+  let live =
+    Vec.fold_left
+      (fun acc o -> if o.Obj_model.marked then o :: acc else acc)
+      [] (Heap.objects t.heap)
+    |> List.rev
+  in
+  (* To-space placement: bump from the idle half's base, page-aligning
+     swappable objects (same Algorithm 3 arithmetic). *)
+  let to_base =
+    if t.low_active then Heap.base t.heap + t.space_bytes else Heap.base t.heap
+  in
+  let threshold = Heap.threshold_pages t.heap in
+  let top = ref to_base in
+  let forward = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let align a =
+        if Obj_model.is_large o ~threshold_pages:threshold then Addr.align_up a
+        else a
+      in
+      top := align !top;
+      o.Obj_model.forward <- !top;
+      Hashtbl.replace forward o.Obj_model.addr !top;
+      top := align (!top + o.Obj_model.size))
+    live;
+  if !top > to_base + t.space_bytes then raise Out_of_memory;
+  Heap.ensure_mapped_to t.heap (Addr.align_up !top);
+  (* Evacuate: from- and to-space are disjoint by construction, so the
+     Algorithm 2 path can never fire.  Each relocation is an independent
+     call (no aggregation), as in a concurrent collector. *)
+  let entries =
+    List.map
+      (fun o ->
+        { Compact.obj = o; src = o.Obj_model.addr; dst = o.Obj_model.forward;
+          len = o.Obj_model.size })
+      live
+  in
+  let fixed = mover.Compact.prologue t.heap in
+  let outcomes = mover.Compact.move_entries t.heap entries in
+  let fixed = fixed +. mover.Compact.epilogue t.heap in
+  let evac_ns = makespan t (List.map (fun o -> o.Compact.cost_ns) outcomes) +. fixed in
+  let swapped_objects =
+    List.fold_left (fun n o -> if o.Compact.swapped then n + 1 else n) 0 outcomes
+  in
+  (* Commit addresses and references. *)
+  let adjust_costs =
+    List.map
+      (fun o ->
+        Array.iteri
+          (fun i addr ->
+            match Hashtbl.find_opt forward addr with
+            | Some fresh -> o.Obj_model.refs.(i) <- fresh
+            | None -> ())
+          o.Obj_model.refs;
+        (cost t).Cost_model.adjust_obj_ns
+        +. float_of_int (Array.length o.Obj_model.refs)
+           *. (cost t).Cost_model.ref_scan_ns)
+      live
+  in
+  let adjust_ns = makespan t adjust_costs in
+  let objects = Heap.objects t.heap in
+  Vec.clear objects;
+  List.iter
+    (fun o ->
+      o.Obj_model.addr <- o.Obj_model.forward;
+      o.Obj_model.forward <- 0;
+      o.Obj_model.marked <- false;
+      Vec.push objects o)
+    live;
+  Heap.rebuild_index t.heap;
+  Heap.set_top t.heap !top;
+  t.low_active <- not t.low_active;
+  let total = mark_ns +. evac_ns +. adjust_ns in
+  let live_bytes = List.fold_left (fun a o -> a + o.Obj_model.size) 0 live in
+  let stats =
+    {
+      pause_ns = (1.0 -. t.concurrent_fraction) *. total;
+      concurrent_ns = t.concurrent_fraction *. total;
+      evacuated_objects = List.length live;
+      swapped_objects;
+      reclaimed_bytes = max 0 (used_before - live_bytes);
+    }
+  in
+  t.cycles <- stats :: t.cycles;
+  stats
+
+let alloc t ~size ~n_refs ~cls =
+  let fits () =
+    let top = Heap.top t.heap in
+    let aligned =
+      if size >= Heap.threshold_pages t.heap * Addr.page_size then
+        Addr.align_up top
+      else top
+    in
+    (* Two pages of margin: the allocator tail-aligns large objects, and
+       nothing may spill into the idle half. *)
+    aligned + size + (2 * Addr.page_size) <= active_limit t
+  in
+  if fits () then Heap.alloc t.heap ~size ~n_refs ~cls
+  else begin
+    let mover = Compact.memmove_mover in
+    ignore (collect t ~mover);
+    if fits () then Heap.alloc t.heap ~size ~n_refs ~cls else raise Out_of_memory
+  end

@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Addr Address_space Array Bytes Format Hashtbl Int64 Machine Obj_model Perf Svagc_kernel Svagc_util Svagc_vmem

@@ -1,0 +1,1 @@
+lib/heap/heap.mli: Obj_model Svagc_kernel Svagc_util

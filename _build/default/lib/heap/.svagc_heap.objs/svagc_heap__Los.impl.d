@@ -1,0 +1,1 @@
+lib/heap/los.ml: Addr Address_space Cost_model Hashtbl List Machine Obj_model Svagc_kernel Svagc_vmem

@@ -1,0 +1,1 @@
+lib/heap/los.mli: Obj_model Svagc_kernel

@@ -1,0 +1,1 @@
+lib/heap/obj_model.ml: Addr Array Format Svagc_vmem

@@ -1,0 +1,1 @@
+lib/heap/tlab.ml: Addr Heap Svagc_vmem

@@ -1,0 +1,1 @@
+lib/heap/tlab.mli: Heap Obj_model

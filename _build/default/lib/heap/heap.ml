@@ -1,0 +1,221 @@
+open Svagc_vmem
+module Process = Svagc_kernel.Process
+module Vec = Svagc_util.Vec
+
+type t = {
+  proc : Process.t;
+  base : int;
+  limit : int;
+  mutable top : int;
+  mutable mapped_until : int;
+  threshold_pages : int;
+  stamp_headers : bool;
+  objects : Obj_model.t Vec.t;
+  by_addr : (int, Obj_model.t) Hashtbl.t;
+  roots : (int, Obj_model.t) Hashtbl.t;  (* keyed by object id *)
+  mutable next_id : int;
+  mutable waste : int;
+}
+
+exception Heap_full
+
+let default_base = 4 * 1024 * 1024 * 1024
+
+let create proc ?(base = default_base) ?(threshold_pages = 10)
+    ?(stamp_headers = true) ~size_bytes () =
+  if not (Addr.is_page_aligned base) then invalid_arg "Heap.create: unaligned base";
+  if size_bytes <= 0 then invalid_arg "Heap.create: empty heap";
+  if threshold_pages <= 0 then invalid_arg "Heap.create: threshold must be positive";
+  {
+    proc;
+    base;
+    limit = base + Addr.align_up size_bytes;
+    top = base;
+    mapped_until = base;
+    threshold_pages;
+    stamp_headers;
+    objects = Vec.create ();
+    by_addr = Hashtbl.create 1024;
+    roots = Hashtbl.create 64;
+    next_id = 1;
+    waste = 0;
+  }
+
+let proc t = t.proc
+let base t = t.base
+let limit t = t.limit
+let top t = t.top
+let threshold_pages t = t.threshold_pages
+let set_top t v = t.top <- v
+
+let ensure_mapped_to t addr =
+  let target = Addr.align_up addr in
+  if target > t.limit then invalid_arg "Heap.ensure_mapped_to: beyond heap limit";
+  if target > t.mapped_until then begin
+    let pages = (target - t.mapped_until) / Addr.page_size in
+    Address_space.map_range (Process.aspace t.proc) ~va:t.mapped_until ~pages;
+    t.mapped_until <- target
+  end
+
+let perf t = (Process.machine t.proc).Machine.perf
+
+let account_waste t bytes =
+  if bytes > 0 then begin
+    t.waste <- t.waste + bytes;
+    (perf t).Perf.alloc_waste_bytes <- (perf t).Perf.alloc_waste_bytes + bytes
+  end
+
+let stamp_header t obj =
+  if t.stamp_headers then begin
+    let aspace = Process.aspace t.proc in
+    ensure_mapped_to t (obj.Obj_model.addr + Obj_model.header_bytes);
+    Address_space.write_i64 aspace ~va:obj.Obj_model.addr
+      (Int64.of_int obj.Obj_model.id);
+    Address_space.write_i64 aspace ~va:(obj.Obj_model.addr + 8)
+      (Int64.of_int obj.Obj_model.size)
+  end
+
+let header_matches t obj =
+  if not t.stamp_headers then true
+  else begin
+    let aspace = Process.aspace t.proc in
+    let id = Address_space.read_i64 aspace ~va:obj.Obj_model.addr in
+    let size = Address_space.read_i64 aspace ~va:(obj.Obj_model.addr + 8) in
+    Int64.to_int id = obj.Obj_model.id && Int64.to_int size = obj.Obj_model.size
+  end
+
+let register t obj =
+  Vec.push t.objects obj;
+  Hashtbl.replace t.by_addr obj.Obj_model.addr obj;
+  (perf t).Perf.alloc_bytes <- (perf t).Perf.alloc_bytes + obj.Obj_model.size;
+  stamp_header t obj
+
+(* IfSwapAlign from Algorithm 3. *)
+let if_swap_align t ~size addr =
+  if size >= t.threshold_pages * Addr.page_size then Addr.align_up addr else addr
+
+let reserve t ~size =
+  if size < Obj_model.header_bytes then invalid_arg "Heap.reserve: size below header";
+  let new_top = if_swap_align t ~size t.top in
+  if new_top + size > t.limit then raise Heap_full;
+  account_waste t (new_top - t.top);
+  t.top <- new_top;
+  let addr = t.top in
+  t.top <- t.top + size;
+  let aligned_top = if_swap_align t ~size t.top in
+  account_waste t (aligned_top - t.top);
+  t.top <- aligned_top;
+  ensure_mapped_to t (min t.limit (Addr.align_up t.top));
+  addr
+
+let alloc t ~size ~n_refs ~cls =
+  let addr = reserve t ~size in
+  let obj = Obj_model.make ~id:t.next_id ~addr ~size ~cls ~n_refs in
+  t.next_id <- t.next_id + 1;
+  register t obj;
+  obj
+
+let alloc_chunk t ~bytes =
+  if bytes <= 0 then invalid_arg "Heap.alloc_chunk: empty chunk";
+  let start = Addr.align_up t.top in
+  if start + bytes > t.limit then raise Heap_full;
+  account_waste t (start - t.top);
+  t.top <- start + bytes;
+  ensure_mapped_to t (Addr.align_up t.top);
+  start
+
+let alloc_at t ~addr ~size ~n_refs ~cls =
+  if addr < t.base || addr + size > t.limit then
+    invalid_arg "Heap.alloc_at: outside the heap";
+  ensure_mapped_to t (Addr.align_up (addr + size));
+  let obj = Obj_model.make ~id:t.next_id ~addr ~size ~cls ~n_refs in
+  t.next_id <- t.next_id + 1;
+  register t obj;
+  obj
+
+let objects t = t.objects
+
+let sort_objects t =
+  Vec.sort (fun a b -> compare a.Obj_model.addr b.Obj_model.addr) t.objects
+
+let object_at t addr = Hashtbl.find_opt t.by_addr addr
+
+let rebuild_index t =
+  Hashtbl.reset t.by_addr;
+  Vec.iter (fun o -> Hashtbl.replace t.by_addr o.Obj_model.addr o) t.objects
+
+let adopt t obj =
+  if obj.Obj_model.addr < t.base || Obj_model.end_addr obj > t.limit then
+    invalid_arg "Heap.adopt: object range outside this heap";
+  Vec.push t.objects obj;
+  Hashtbl.replace t.by_addr obj.Obj_model.addr obj
+
+let evict t obj =
+  Hashtbl.remove t.by_addr obj.Obj_model.addr;
+  Hashtbl.remove t.roots obj.Obj_model.id;
+  let keep = Vec.filter (fun o -> o != obj) t.objects in
+  Vec.clear t.objects;
+  Vec.iter (fun o -> Vec.push t.objects o) keep
+
+let reset t =
+  Vec.clear t.objects;
+  Hashtbl.reset t.by_addr;
+  Hashtbl.reset t.roots;
+  t.top <- t.base
+
+let add_root t obj = Hashtbl.replace t.roots obj.Obj_model.id obj
+
+let remove_root t obj = Hashtbl.remove t.roots obj.Obj_model.id
+
+let iter_roots t f = Hashtbl.iter (fun _ obj -> f obj) t.roots
+
+let root_count t = Hashtbl.length t.roots
+
+let set_ref _t obj ~slot target =
+  obj.Obj_model.refs.(slot) <-
+    (match target with Some o -> o.Obj_model.addr | None -> 0)
+
+let deref t obj ~slot =
+  let addr = obj.Obj_model.refs.(slot) in
+  if addr = 0 then None
+  else
+    match object_at t addr with
+    | Some o -> Some o
+    | None ->
+      invalid_arg
+        (Format.asprintf "Heap.deref: dangling reference to %a (GC bug)" Addr.pp addr)
+
+let payload_va obj ~off = obj.Obj_model.addr + Obj_model.header_bytes + off
+
+let check_payload_range obj ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Heap: negative payload range";
+  if Obj_model.header_bytes + off + len > obj.Obj_model.size then
+    invalid_arg "Heap: payload range escapes the object"
+
+let write_payload t obj ~off data =
+  check_payload_range obj ~off ~len:(Bytes.length data);
+  Address_space.write_bytes (Process.aspace t.proc) ~va:(payload_va obj ~off)
+    ~src:data
+
+let read_payload t obj ~off ~len =
+  check_payload_range obj ~off ~len;
+  Address_space.read_bytes (Process.aspace t.proc) ~va:(payload_va obj ~off) ~len
+
+let checksum_object t obj =
+  Address_space.checksum (Process.aspace t.proc) ~va:obj.Obj_model.addr
+    ~len:obj.Obj_model.size
+
+let touch_object t obj ~core ~max_bytes =
+  let len = min max_bytes obj.Obj_model.size in
+  Address_space.touch_range (Process.aspace t.proc) ~core ~va:obj.Obj_model.addr
+    ~len
+
+let used_bytes t = t.top - t.base
+
+let live_bytes t = Vec.fold_left (fun acc o -> acc + o.Obj_model.size) 0 t.objects
+
+let free_bytes t = t.limit - t.top
+
+let wasted_bytes t = t.waste
+
+let object_count t = Vec.length t.objects

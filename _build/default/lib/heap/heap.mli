@@ -1,0 +1,145 @@
+(** The managed heap: a contiguous virtual range with bump-pointer
+    allocation following the paper's Algorithm 3 — objects at or above the
+    swapping threshold are placed on page boundaries and own their pages
+    exclusively, so the GC can move them by swapping PTEs.
+
+    The heap is GC-agnostic: collectors (lib/gc, lib/core) drive marking,
+    forwarding, adjusting and compaction through this interface. *)
+
+type t
+
+val create :
+  Svagc_kernel.Process.t ->
+  ?base:int ->
+  ?threshold_pages:int ->
+  ?stamp_headers:bool ->
+  size_bytes:int ->
+  unit ->
+  t
+(** A heap of [size_bytes] starting at [base] (default 4 GiB mark, page
+    aligned).  [threshold_pages] (default 10, the paper's break-even) is
+    the Algorithm 3 [Threshold_Swapping].  [stamp_headers] (default true)
+    writes each object's id/size into simulated memory — disable for very
+    large runs to keep host memory flat. *)
+
+val proc : t -> Svagc_kernel.Process.t
+
+val base : t -> int
+
+val limit : t -> int
+(** One past the last usable byte ([heap.end] in Algorithm 3). *)
+
+val top : t -> int
+
+val threshold_pages : t -> int
+
+val set_top : t -> int -> unit
+(** Used by the GC after compaction. *)
+
+exception Heap_full
+
+val alloc : t -> size:int -> n_refs:int -> cls:int -> Obj_model.t
+(** Algorithm 3 [AllocMem] from the shared space: page-aligns large
+    objects before and after placement, accounts alignment waste in the
+    machine's perf counters, maps fresh pages on demand and stamps the
+    header.  @raise Heap_full when the aligned request does not fit (the
+    caller is expected to run a GC and retry). *)
+
+val alloc_at : t -> addr:int -> size:int -> n_refs:int -> cls:int -> Obj_model.t
+(** Register an object at an address obtained externally (the TLAB path).
+    The range must lie inside the heap below [top]. *)
+
+val alloc_chunk : t -> bytes:int -> int
+(** Carve a page-aligned TLAB chunk out of the shared space and return its
+    start.  @raise Heap_full when it does not fit. *)
+
+val reserve : t -> size:int -> int
+(** Algorithm 3 placement without object registration: page-align if at or
+    above the threshold, advance the top (tail-aligning large objects so
+    they own their pages), map the backing and return the address.  Used
+    by the generational collector to compute promotion destinations.
+    @raise Heap_full. *)
+
+val adopt : t -> Obj_model.t -> unit
+(** Register an object record that already lives (or is about to live) at
+    its [addr] inside this heap — the promotion path: the object keeps its
+    identity while changing spaces.  @raise Invalid_argument if the range
+    is outside the heap. *)
+
+val evict : t -> Obj_model.t -> unit
+(** Remove an object from this heap's bookkeeping without touching its
+    bytes (the other half of a promotion).  Roots pointing at it are
+    dropped here and must be re-added on the destination heap if needed. *)
+
+val reset : t -> unit
+(** Empty the space: forget every object and root and pull the top back to
+    the base (the end of a minor collection for the young space).  Backing
+    frames stay mapped. *)
+
+val ensure_mapped_to : t -> int -> unit
+(** Make sure every page below the given address is backed. *)
+
+(** {2 Object graph} *)
+
+val objects : t -> Obj_model.t Svagc_util.Vec.t
+(** All live-or-unreclaimed objects; sorted by address on demand via
+    {!sort_objects}. *)
+
+val sort_objects : t -> unit
+
+val object_at : t -> int -> Obj_model.t option
+(** Lookup by current address. *)
+
+val rebuild_index : t -> unit
+(** Recompute the address index after the GC has moved objects and pruned
+    the dead ones. *)
+
+val add_root : t -> Obj_model.t -> unit
+
+val remove_root : t -> Obj_model.t -> unit
+
+val iter_roots : t -> (Obj_model.t -> unit) -> unit
+
+val root_count : t -> int
+
+val set_ref : t -> Obj_model.t -> slot:int -> Obj_model.t option -> unit
+(** Point [slot] of the object at another object (or null). *)
+
+val deref : t -> Obj_model.t -> slot:int -> Obj_model.t option
+(** Follow a reference slot.  @raise Invalid_argument on a dangling
+    address — that would be a GC bug. *)
+
+(** {2 Payload IO (through the MMU)} *)
+
+val write_payload : t -> Obj_model.t -> off:int -> bytes -> unit
+(** [off] is relative to the payload (header excluded). *)
+
+val read_payload : t -> Obj_model.t -> off:int -> len:int -> bytes
+
+val checksum_object : t -> Obj_model.t -> int64
+(** Over the full object range, header included. *)
+
+val stamp_header : t -> Obj_model.t -> unit
+
+val touch_object : t -> Obj_model.t -> core:int -> max_bytes:int -> unit
+(** Measured access to the object's first [max_bytes] (TLB + LLC models);
+    used by the Table III instrumentation. *)
+
+val header_matches : t -> Obj_model.t -> bool
+(** Re-read the stamped header and compare with the mirror — the
+    oracle that object moves preserved identity. *)
+
+(** {2 Statistics} *)
+
+val used_bytes : t -> int
+(** [top - base]. *)
+
+val live_bytes : t -> int
+(** Sum of registered object sizes. *)
+
+val free_bytes : t -> int
+
+val wasted_bytes : t -> int
+(** Alignment waste accumulated by this heap's allocations. *)
+
+val object_count : t -> int

@@ -1,0 +1,27 @@
+(** Thread-local allocation buffers with the paper's bidirectional policy
+    (§IV, "Memory Fragmentation Issue"): small objects bump upward from the
+    TLAB's start while swappable (page-aligned) large objects bump downward
+    from its end, so the two populations never interleave and page
+    alignment costs no external fragmentation between neighbours.
+
+    Objects larger than half a chunk bypass the TLAB and take the shared
+    Algorithm 3 path ({!Heap.alloc}). *)
+
+type t
+
+val create : Heap.t -> thread_id:int -> chunk_bytes:int -> t
+(** No chunk is reserved until the first allocation. *)
+
+val thread_id : t -> int
+
+val alloc : t -> size:int -> n_refs:int -> cls:int -> Obj_model.t
+(** @raise Heap.Heap_full when a fresh chunk cannot be carved out of the
+    heap.  After a GC the caller must {!retire} and allocate again (the
+    chunk addresses are stale once objects have moved). *)
+
+val retire : t -> unit
+(** Drop the current chunk (its unused gap becomes floating garbage that
+    the next compaction reclaims). *)
+
+val unused_gap : t -> int
+(** Bytes between the small and large cursors right now. *)

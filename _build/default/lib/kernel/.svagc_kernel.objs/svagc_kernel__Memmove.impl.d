@@ -1,0 +1,1 @@
+lib/kernel/memmove.ml: Address_space Cost_model Machine Perf Svagc_vmem

@@ -1,0 +1,1 @@
+lib/kernel/memmove.mli: Address_space Machine Svagc_vmem

@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Address_space Cost_model Machine Perf Printf Svagc_vmem

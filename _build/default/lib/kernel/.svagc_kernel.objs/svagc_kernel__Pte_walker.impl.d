@@ -1,0 +1,1 @@
+lib/kernel/pte_walker.ml: Addr Array Cost_model Format Machine Page_table Perf Pte Svagc_vmem

@@ -1,0 +1,1 @@
+lib/kernel/pte_walker.mli: Machine Page_table Pte Svagc_vmem

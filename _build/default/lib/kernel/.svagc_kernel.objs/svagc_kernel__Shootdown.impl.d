@@ -1,0 +1,1 @@
+lib/kernel/shootdown.ml: Array Cost_model Format Machine Perf Svagc_vmem Tlb

@@ -1,0 +1,1 @@
+lib/kernel/shootdown.mli: Format Machine Svagc_vmem

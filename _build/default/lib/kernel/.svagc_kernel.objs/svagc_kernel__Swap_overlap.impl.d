@@ -1,0 +1,1 @@
+lib/kernel/swap_overlap.ml: Addr Address_space Array Cost_model Machine Page_table Perf Process Pte Pte_walker Svagc_util Svagc_vmem

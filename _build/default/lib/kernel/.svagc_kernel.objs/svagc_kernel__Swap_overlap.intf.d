@@ -1,0 +1,1 @@
+lib/kernel/swap_overlap.mli: Process

@@ -1,0 +1,1 @@
+lib/kernel/swapva.ml: Addr Address_space Cost_model List Machine Page_table Perf Process Pte Pte_walker Shootdown Svagc_vmem Swap_overlap

@@ -1,0 +1,1 @@
+lib/kernel/swapva.mli: Process Shootdown

@@ -1,0 +1,36 @@
+open Svagc_vmem
+
+let cost_ns ?(cold = false) machine ~len =
+  if len <= 0 then 0.0
+  else begin
+    let bw =
+      if cold then
+        Cost_model.contended_bw machine.Machine.cost
+          ~streams:machine.Machine.copy_streams
+          ~bw:machine.Machine.cost.Cost_model.dram_copy_bw
+      else Machine.effective_copy_bw machine ~bytes_len:len
+    in
+    float_of_int len /. bw
+  end
+
+let move ?measure_core ?(cold = false) aspace ~src ~dst ~len =
+  if len < 0 then invalid_arg "Memmove.move: negative length";
+  let machine = Address_space.machine aspace in
+  if len = 0 then 0.0
+  else begin
+    (* A page-chunked in-place copy would need direction analysis for
+       overlap; staging through a buffer gives memmove semantics simply and
+       the simulated cost is charged analytically anyway. *)
+    let data = Address_space.read_bytes aspace ~va:src ~len in
+    Address_space.write_bytes aspace ~va:dst ~src:data;
+    machine.Machine.perf.Perf.memmove_calls <-
+      machine.Machine.perf.Perf.memmove_calls + 1;
+    machine.Machine.perf.Perf.bytes_copied <-
+      machine.Machine.perf.Perf.bytes_copied + len;
+    (match measure_core with
+    | None -> ()
+    | Some core ->
+      Address_space.touch_range aspace ~core ~va:src ~len;
+      Address_space.touch_range aspace ~core ~va:dst ~len);
+    cost_ns ~cold machine ~len
+  end

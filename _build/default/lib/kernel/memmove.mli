@@ -1,0 +1,28 @@
+(** Baseline byte copying between virtual ranges of one address space.
+
+    This is the `memmove` the paper's GCs fall back to: it physically moves
+    every byte (handling overlap with memmove semantics), charges
+    bandwidth-model time, and optionally streams the touched lines through
+    the machine's cache model for the Table III experiment. *)
+
+open Svagc_vmem
+
+val move :
+  ?measure_core:int ->
+  ?cold:bool ->
+  Address_space.t ->
+  src:int ->
+  dst:int ->
+  len:int ->
+  float
+(** [move as_ ~src ~dst ~len] copies [len] bytes and returns the cost in
+    ns.  Overlapping ranges behave like C [memmove].  When [measure_core]
+    is given, source and destination lines are pushed through the LLC model
+    and the page translations through that core's TLB.  [cold] (default
+    false) charges DRAM-tier bandwidth regardless of size — the GC
+    compaction case, where sources are compulsory misses; hot microbenches
+    keep the size-tiered model. *)
+
+val cost_ns : ?cold:bool -> Machine.t -> len:int -> float
+(** The analytic cost of copying [len] bytes under the machine's current
+    contention level, without doing it (used by planners/tests). *)

@@ -1,0 +1,31 @@
+(** A simulated process: one address space plus scheduling state.
+
+    The paper's Algorithm 4 pins the compacting process to a core for the
+    duration of a GC cycle so TLB invalidations stay local; {!pin} /
+    {!unpin} model that (and charge the affinity cost). *)
+
+open Svagc_vmem
+
+type t
+
+val create : ?name:string -> Machine.t -> t
+
+val pid : t -> int
+
+val name : t -> string
+
+val aspace : t -> Address_space.t
+
+val machine : t -> Machine.t
+
+val current_core : t -> int
+(** The core the process is running on (0 unless migrated). *)
+
+val set_current_core : t -> int -> unit
+
+val is_pinned : t -> bool
+
+val pin : t -> core:int -> float
+(** Pin to [core]; returns the scheduling cost in ns. *)
+
+val unpin : t -> float

@@ -1,0 +1,66 @@
+open Svagc_vmem
+
+type t = {
+  machine : Machine.t;
+  pt : Page_table.t;
+  pmd_caching : bool;
+  (* Two-entry cache keyed by the PMD region (vpn / 512): one slot per swap
+     stream so alternating src/dst accesses both hit. *)
+  mutable cache0 : (int * Pte.value array) option;
+  mutable cache1 : (int * Pte.value array) option;
+  mutable cost : float;
+}
+
+let create machine pt ~pmd_caching =
+  { machine; pt; pmd_caching; cache0 = None; cache1 = None; cost = 0.0 }
+
+let cost_ns t = t.cost
+
+let add_cost t c = t.cost <- t.cost +. c
+
+let pmd_region va = Addr.page_number va / Addr.pages_per_pmd
+
+let lookup_cache t region =
+  match (t.cache0, t.cache1) with
+  | Some (r, leaf), _ when r = region -> Some leaf
+  | _, Some (r, leaf) when r = region -> Some leaf
+  | _ -> None
+
+let remember t region leaf =
+  (* Simple 2-entry rotation: newest in slot 0. *)
+  t.cache1 <- t.cache0;
+  t.cache0 <- Some (region, leaf)
+
+let get_pte t va =
+  let cost = t.machine.Machine.cost in
+  let perf = t.machine.Machine.perf in
+  let region = pmd_region va in
+  let leaf =
+    match (if t.pmd_caching then lookup_cache t region else None) with
+    | Some leaf ->
+      perf.Perf.pmd_cache_hits <- perf.Perf.pmd_cache_hits + 1;
+      t.cost <- t.cost +. cost.Cost_model.pt_entry_ns;
+      leaf
+    | None -> (
+      match Page_table.find_leaf t.pt va with
+      | None ->
+        invalid_arg
+          (Format.asprintf "Pte_walker.get_pte: no mapping at %a" Addr.pp va)
+      | Some leaf ->
+        perf.Perf.pt_walks <- perf.Perf.pt_walks + 1;
+        t.cost <- t.cost +. Cost_model.walk_cost_ns cost;
+        if t.pmd_caching then remember t region leaf;
+        leaf)
+  in
+  (leaf, Addr.pte_index va)
+
+let read_slot t (leaf, idx) =
+  t.cost <- t.cost +. t.machine.Machine.cost.Cost_model.pt_entry_ns;
+  leaf.(idx)
+
+let write_slot t (leaf, idx) v =
+  t.cost <- t.cost +. t.machine.Machine.cost.Cost_model.pt_entry_ns;
+  leaf.(idx) <- v
+
+let charge_lock_pair t =
+  t.cost <- t.cost +. t.machine.Machine.cost.Cost_model.lock_pair_ns

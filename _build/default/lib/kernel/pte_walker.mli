@@ -1,0 +1,31 @@
+(** Shared getPTE machinery for the SwapVA implementations.
+
+    A walker descends the 4-level table to the PTE slot of a virtual
+    address, accumulating simulated cost.  With PMD caching enabled it
+    keeps the leaf tables of the last two distinct PMD regions (one per
+    swap stream, as the paper's "pmd variable" suggests), so consecutive
+    pages in either stream skip the directory walk (Fig. 7). *)
+
+open Svagc_vmem
+
+type t
+
+val create : Machine.t -> Page_table.t -> pmd_caching:bool -> t
+
+val cost_ns : t -> float
+(** Cost accumulated so far by this walker. *)
+
+val add_cost : t -> float -> unit
+
+val get_pte : t -> int -> Pte.value array * int
+(** [get_pte w va] is the leaf table and slot index for [va], charging a
+    full walk or a PMD-cache hit.  Does NOT charge the lock pair — callers
+    charge it per Algorithm step.  @raise Invalid_argument when the page
+    has no leaf table. *)
+
+val read_slot : t -> Pte.value array * int -> Pte.value
+
+val write_slot : t -> Pte.value array * int -> Pte.value -> unit
+(** Charges one PTE word access per read/write. *)
+
+val charge_lock_pair : t -> unit

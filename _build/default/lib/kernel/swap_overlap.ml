@@ -1,0 +1,64 @@
+open Svagc_vmem
+
+let rotation_reference a ~delta =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else Array.init n (fun i -> a.((i + delta) mod n))
+
+(* FindSwapPlace from Algorithm 2: destination index of the element
+   currently at [i] under a left rotation by [delta] of a [total]-element
+   window, where [total = pages + delta]. *)
+let find_swap_place ~i ~delta ~pages = if i < delta then i + pages else i - delta
+
+let swap proc ~pmd_caching ~per_page_flush ~src ~dst ~pages =
+  if not (Addr.is_page_aligned src && Addr.is_page_aligned dst) then
+    invalid_arg "Swap_overlap.swap: addresses must be page-aligned";
+  if pages <= 0 then invalid_arg "Swap_overlap.swap: pages must be positive";
+  if dst <= src then invalid_arg "Swap_overlap.swap: requires src < dst";
+  let delta = (dst - src) / Addr.page_size in
+  if delta > pages then
+    invalid_arg "Swap_overlap.swap: ranges do not overlap (use Swapva.swap)";
+  let machine = Process.machine proc in
+  let aspace = Process.aspace proc in
+  let pt = Address_space.page_table aspace in
+  let walker = Pte_walker.create machine pt ~pmd_caching in
+  let total = pages + delta in
+  let perf = machine.Machine.perf in
+  let cost = machine.Machine.cost in
+  let slot_at idx = Pte_walker.get_pte walker (src + (idx * Addr.page_size)) in
+  (* Verify the whole window is mapped before mutating anything, so a bad
+     call cannot leave a half-rotated window behind.  This is the vma check
+     a real kernel does up front; its cost is the caller's swap_setup_ns,
+     so no walker cost is charged here. *)
+  for idx = 0 to total - 1 do
+    if not (Pte.is_present (Page_table.get_pte pt (src + (idx * Addr.page_size))))
+    then invalid_arg "Swap_overlap.swap: window contains an unmapped page"
+  done;
+  let cycles = Svagc_util.Num_util.gcd delta pages in
+  for cur_idx = 0 to cycles - 1 do
+    let cur_slot = slot_at cur_idx in
+    Pte_walker.charge_lock_pair walker;
+    let pte_temp = ref (Pte_walker.read_slot walker cur_slot) in
+    let k = ref (find_swap_place ~i:cur_idx ~delta ~pages) in
+    while !k <> cur_idx do
+      let k_slot = slot_at !k in
+      Pte_walker.charge_lock_pair walker;
+      let pte_k_temp = Pte_walker.read_slot walker k_slot in
+      Pte_walker.write_slot walker k_slot !pte_temp;
+      if per_page_flush then begin
+        Pte_walker.add_cost walker cost.Cost_model.tlb_flush_page_ns;
+        perf.Perf.tlb_flush_page <- perf.Perf.tlb_flush_page + 1
+      end;
+      perf.Perf.ptes_swapped <- perf.Perf.ptes_swapped + 1;
+      pte_temp := pte_k_temp;
+      k := find_swap_place ~i:!k ~delta ~pages
+    done;
+    Pte_walker.write_slot walker cur_slot !pte_temp;
+    if per_page_flush then begin
+      Pte_walker.add_cost walker cost.Cost_model.tlb_flush_page_ns;
+      perf.Perf.tlb_flush_page <- perf.Perf.tlb_flush_page + 1
+    end;
+    perf.Perf.ptes_swapped <- perf.Perf.ptes_swapped + 1
+  done;
+  perf.Perf.bytes_remapped <- perf.Perf.bytes_remapped + (pages * Addr.page_size);
+  Pte_walker.cost_ns walker

@@ -1,0 +1,35 @@
+(** Algorithm 2: swapping two *overlapping* page ranges in O(n + δ) PTE
+    moves using gcd-driven replacement cycles.
+
+    For ranges at [src] and [dst = src + δ·PAGE] of [pages] pages each
+    (0 < δ ≤ pages), the operation is a left rotation by δ of the
+    [pages + δ]-page window starting at [src]: afterwards the content that
+    lived at [dst..dst+pages) is visible at [src..src+pages), and the
+    displaced prefix sits at the window's tail.  This module implements the
+    cycle-following loop verbatim (FindSwapPlace, one temporary PTE word
+    per cycle). *)
+
+
+val rotation_reference : 'a array -> delta:int -> 'a array
+(** Pure specification used by the property tests: left-rotate by
+    [delta]. *)
+
+val swap :
+  Process.t ->
+  pmd_caching:bool ->
+  per_page_flush:bool ->
+  src:int ->
+  dst:int ->
+  pages:int ->
+  float
+(** Perform the overlapping swap and return the kernel-side cost in ns.
+    With [per_page_flush] the per-PTE [flush_tlb_page] of Algorithm 2 is
+    charged; under Algorithm 4's pinned stop-the-world compaction nothing
+    can read the window through a stale TLB entry mid-call, so the caller
+    may defer invalidation to the single per-call shootdown and pass
+    [false] (an engineering refinement over the paper's listing, see
+    DESIGN.md).  The syscall crossing and the remote-visibility shootdown
+    are charged by the caller ({!Swapva}), which owns the flush policy.
+    @raise Invalid_argument unless [src < dst], both page-aligned, the
+    ranges actually overlap ([dst < src + pages·PAGE]) and every page of
+    the union window is mapped. *)

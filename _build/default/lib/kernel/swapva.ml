@@ -1,0 +1,123 @@
+open Svagc_vmem
+
+type opts = {
+  pmd_caching : bool;
+  flush : Shootdown.policy;
+  allow_overlap : bool;
+}
+
+let default_opts =
+  { pmd_caching = true; flush = Shootdown.Local_pinned; allow_overlap = true }
+
+let naive_opts =
+  {
+    pmd_caching = false;
+    flush = Shootdown.Broadcast_per_call;
+    allow_overlap = false;
+  }
+
+type request = {
+  src : int;
+  dst : int;
+  pages : int;
+}
+
+let ranges_overlap { src; dst; pages } =
+  let len = pages * Addr.page_size in
+  let lo = min src dst and hi = max src dst in
+  hi < lo + len
+
+let validate { src; dst; pages } =
+  if pages <= 0 then invalid_arg "Swapva: pages must be positive";
+  if not (Addr.is_page_aligned src && Addr.is_page_aligned dst) then
+    invalid_arg "Swapva: addresses must be page-aligned";
+  if src = dst then invalid_arg "Swapva: ranges are identical"
+
+(* The body of Algorithm 1 for one request: disjoint ranges, page-by-page
+   PTE exchange.  Returns the PTE-work cost (no syscall/flush). *)
+let swap_disjoint_body proc ~pmd_caching req =
+  let machine = Process.machine proc in
+  let aspace = Process.aspace proc in
+  let pt = Address_space.page_table aspace in
+  let perf = machine.Machine.perf in
+  (* vma-style precheck, charged via swap_setup_ns by the caller. *)
+  for i = 0 to req.pages - 1 do
+    let off = i * Addr.page_size in
+    if
+      (not (Pte.is_present (Page_table.get_pte pt (req.src + off))))
+      || not (Pte.is_present (Page_table.get_pte pt (req.dst + off)))
+    then invalid_arg "Swapva: range contains an unmapped page"
+  done;
+  let walker = Pte_walker.create machine pt ~pmd_caching in
+  for i = 0 to req.pages - 1 do
+    let off = i * Addr.page_size in
+    let slot1 = Pte_walker.get_pte walker (req.src + off) in
+    let slot2 = Pte_walker.get_pte walker (req.dst + off) in
+    Pte_walker.charge_lock_pair walker;
+    Pte_walker.charge_lock_pair walker;
+    let pte1 = Pte_walker.read_slot walker slot1 in
+    let pte2 = Pte_walker.read_slot walker slot2 in
+    Pte_walker.write_slot walker slot1 pte2;
+    Pte_walker.write_slot walker slot2 pte1;
+    perf.Perf.ptes_swapped <- perf.Perf.ptes_swapped + 2
+  done;
+  perf.Perf.bytes_remapped <-
+    perf.Perf.bytes_remapped + (req.pages * Addr.page_size);
+  Pte_walker.cost_ns walker
+
+(* One request inside an (aggregated or single) call: setup + body.
+   Overlapping requests take the Algorithm 2 path, which performs its own
+   per-page local flushes; the remote-visibility shootdown is paid once per
+   call by [final_flush]. *)
+let request_cost proc ~opts req =
+  validate req;
+  let machine = Process.machine proc in
+  let setup = machine.Machine.cost.Cost_model.swap_setup_ns in
+  if ranges_overlap req then begin
+    if not opts.allow_overlap then
+      invalid_arg "Swapva: overlapping ranges (enable allow_overlap)";
+    let src = min req.src req.dst and dst = max req.src req.dst in
+    let per_page_flush =
+      match opts.flush with
+      | Shootdown.Local_pinned | Shootdown.Self_invalidate -> false
+      | Shootdown.Broadcast_per_call | Shootdown.Process_targeted -> true
+    in
+    setup
+    +. Swap_overlap.swap proc ~pmd_caching:opts.pmd_caching ~per_page_flush ~src
+         ~dst ~pages:req.pages
+  end
+  else setup +. swap_disjoint_body proc ~pmd_caching:opts.pmd_caching req
+
+let call_overhead proc =
+  let machine = Process.machine proc in
+  machine.Machine.perf.Perf.syscalls <- machine.Machine.perf.Perf.syscalls + 1;
+  machine.Machine.perf.Perf.swapva_calls <-
+    machine.Machine.perf.Perf.swapva_calls + 1;
+  machine.Machine.cost.Cost_model.syscall_ns
+
+let final_flush proc ~opts =
+  let machine = Process.machine proc in
+  Shootdown.flush_after_swap machine
+    ~asid:(Address_space.asid (Process.aspace proc))
+    ~core:(Process.current_core proc) opts.flush
+
+let swap proc ~opts ~src ~dst ~pages =
+  let req = { src; dst; pages } in
+  let overhead = call_overhead proc in
+  let body = request_cost proc ~opts req in
+  overhead +. body +. final_flush proc ~opts
+
+let swap_aggregated proc ~opts requests =
+  match requests with
+  | [] -> 0.0
+  | _ ->
+    let overhead = call_overhead proc in
+    let body =
+      List.fold_left (fun acc req -> acc +. request_cost proc ~opts req) 0.0 requests
+    in
+    overhead +. body +. final_flush proc ~opts
+
+let swap_separated proc ~opts requests =
+  List.fold_left
+    (fun acc { src; dst; pages } -> acc +. swap proc ~opts ~src ~dst ~pages)
+    0.0 requests

@@ -1,0 +1,44 @@
+(** The SwapVA system call (Algorithm 1) with the paper's three internal
+    optimizations: PMD caching, request aggregation (Fig. 5) and the
+    overlapping-area path (Algorithm 2, dispatched automatically).
+
+    Swapping really exchanges frame numbers in the leaf page tables, so
+    afterwards reads through the MMU observe the exchanged contents without
+    any byte having moved. *)
+
+
+type opts = {
+  pmd_caching : bool;
+  flush : Shootdown.policy;
+  allow_overlap : bool;  (** dispatch overlapping requests to Algorithm 2 *)
+}
+
+val default_opts : opts
+(** PMD caching on, [Local_pinned] flushing, overlap allowed — the
+    configuration SVAGC runs with. *)
+
+val naive_opts : opts
+(** Everything off / broadcast flushing: the Fig. 8/9 baselines. *)
+
+type request = {
+  src : int;
+  dst : int;
+  pages : int;
+}
+
+val ranges_overlap : request -> bool
+
+val swap : Process.t -> opts:opts -> src:int -> dst:int -> pages:int -> float
+(** One syscall swapping [pages] pages between [src] and [dst]; returns the
+    total simulated cost in ns (syscall crossing + setup + PTE work +
+    shootdown per the policy).
+    @raise Invalid_argument on unaligned/unmapped ranges, or on overlapping
+    ranges when [allow_overlap] is false. *)
+
+val swap_aggregated : Process.t -> opts:opts -> request list -> float
+(** All requests in a single syscall: one crossing, one final shootdown
+    (per-request setup is still paid).  Empty list costs nothing. *)
+
+val swap_separated : Process.t -> opts:opts -> request list -> float
+(** Convenience baseline: one {!swap} call per request (Fig. 5a / Fig. 6
+    "separated"). *)

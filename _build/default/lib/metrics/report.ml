@@ -1,0 +1,27 @@
+let ns v = Format.asprintf "%a" Svagc_vmem.Clock.pp_ns v
+
+let pct v = Printf.sprintf "%.1f%%" v
+
+let speedup v = Printf.sprintf "%.2fx" v
+
+let bytes n =
+  let f = float_of_int n in
+  if f < 1024.0 then Printf.sprintf "%dB" n
+  else if f < 1024.0 ** 2.0 then Printf.sprintf "%.1fKiB" (f /. 1024.0)
+  else if f < 1024.0 ** 3.0 then Printf.sprintf "%.1fMiB" (f /. (1024.0 ** 2.0))
+  else Printf.sprintf "%.2fGiB" (f /. (1024.0 ** 3.0))
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar title bar
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let kv key value = Printf.printf "  %-38s %s\n" (key ^ ":") value
+
+let note msg = Printf.printf "  (%s)\n" msg
+
+let paper_vs_measured rows =
+  Table.print
+    ~headers:[ "quantity"; "paper"; "measured" ]
+    (List.map (fun (q, p, m) -> [ q; p; m ]) rows)

@@ -1,0 +1,26 @@
+(** Formatting helpers shared by the experiment printers. *)
+
+val ns : float -> string
+(** Scaled time: "1.23ms". *)
+
+val pct : float -> string
+(** "12.3%". *)
+
+val speedup : float -> string
+(** "3.82x". *)
+
+val bytes : int -> string
+(** "1.5MiB". *)
+
+val section : string -> unit
+(** Banner printed before each experiment's output. *)
+
+val subsection : string -> unit
+
+val kv : string -> string -> unit
+(** Aligned "key: value" line. *)
+
+val note : string -> unit
+
+val paper_vs_measured : (string * string * string) list -> unit
+(** Rows of (quantity, paper value, measured value). *)

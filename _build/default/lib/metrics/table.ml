@@ -1,0 +1,50 @@
+type align =
+  | Left
+  | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~headers rows =
+  let ncols = List.length headers in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | Some _ -> invalid_arg "Table.render: aligns length mismatch"
+    | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render_row cells =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let sep =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (sep ^ "\n");
+  Buffer.add_string buf (render_row headers ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.add_string buf sep;
+  Buffer.contents buf
+
+let print ?aligns ~headers rows = print_endline (render ?aligns ~headers rows)

@@ -1,0 +1,12 @@
+(** Minimal ASCII table rendering for the experiment harness. *)
+
+type align =
+  | Left
+  | Right
+
+val render : ?aligns:align list -> headers:string list -> string list list -> string
+(** [render ~headers rows] pads columns to their widest cell.  [aligns]
+    defaults to [Left] for the first column and [Right] for the rest.
+    Rows shorter than the header are padded with empty cells. *)
+
+val print : ?aligns:align list -> headers:string list -> string list list -> unit

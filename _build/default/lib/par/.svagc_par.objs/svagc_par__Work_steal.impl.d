@@ -1,0 +1,1 @@
+lib/par/work_steal.ml: Array Float Svagc_util

@@ -1,0 +1,1 @@
+lib/par/work_steal.mli:

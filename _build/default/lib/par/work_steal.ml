@@ -1,0 +1,108 @@
+type stats = {
+  threads : int;
+  tasks : int;
+  steals : int;
+  total_work_ns : float;
+  makespan_ns : float;
+}
+
+type 'a worker = {
+  deque : 'a Svagc_util.Vec.t;
+  mutable clock : float;
+  mutable live : bool;
+}
+
+let run ~threads ~steal_ns ~barrier_ns ~cost ~execute items =
+  if threads <= 0 then invalid_arg "Work_steal.run: threads must be positive";
+  let n = Array.length items in
+  let workers =
+    Array.init threads (fun _ ->
+        { deque = Svagc_util.Vec.create (); clock = 0.0; live = true })
+  in
+  (* Round-robin seeding keeps the initial split balanced without assuming
+     anything about task order. *)
+  Array.iteri (fun i item -> Svagc_util.Vec.push workers.(i mod threads).deque item) items;
+  let steals = ref 0 in
+  let total = ref 0.0 in
+  let remaining = ref n in
+  (* Lowest-clock live worker acts next: an event-driven replay. *)
+  let next_worker () =
+    let best = ref None in
+    Array.iteri
+      (fun i w ->
+        if w.live then
+          match !best with
+          | None -> best := Some i
+          | Some j -> if w.clock < workers.(j).clock then best := Some i)
+      workers;
+    !best
+  in
+  let richest_victim () =
+    let best = ref None in
+    Array.iteri
+      (fun i w ->
+        let len = Svagc_util.Vec.length w.deque in
+        if len > 0 then
+          match !best with
+          | None -> best := Some i
+          | Some j ->
+            if len > Svagc_util.Vec.length workers.(j).deque then best := Some i)
+      workers;
+    !best
+  in
+  let run_task w item =
+    let c = cost item in
+    execute item;
+    w.clock <- w.clock +. c;
+    total := !total +. c;
+    decr remaining
+  in
+  let rec loop () =
+    if !remaining > 0 then begin
+      match next_worker () with
+      | None -> ()
+      | Some i ->
+        let w = workers.(i) in
+        (match Svagc_util.Vec.pop w.deque with
+        | Some item ->
+          run_task w item;
+          loop ()
+        | None -> (
+          match richest_victim () with
+          | None ->
+            (* Nothing anywhere: this worker is done; others may still be
+               executing their final tasks. *)
+            w.live <- false;
+            loop ()
+          | Some v ->
+            (* Steal from the head (FIFO end) of the victim's deque. *)
+            let victim = workers.(v).deque in
+            let stolen = Svagc_util.Vec.get victim 0 in
+            let len = Svagc_util.Vec.length victim in
+            for k = 0 to len - 2 do
+              Svagc_util.Vec.set victim k (Svagc_util.Vec.get victim (k + 1))
+            done;
+            ignore (Svagc_util.Vec.pop victim);
+            incr steals;
+            w.clock <- w.clock +. steal_ns;
+            run_task w stolen;
+            loop ()))
+    end
+  in
+  loop ();
+  let makespan =
+    Array.fold_left (fun acc w -> Float.max acc w.clock) 0.0 workers
+  in
+  {
+    threads;
+    tasks = n;
+    steals = !steals;
+    total_work_ns = !total;
+    makespan_ns = (if n = 0 then 0.0 else makespan +. barrier_ns);
+  }
+
+let makespan ~threads ~steal_ns ~barrier_ns costs =
+  let st =
+    run ~threads ~steal_ns ~barrier_ns ~cost:(fun c -> c) ~execute:ignore costs
+  in
+  st.makespan_ns

@@ -1,0 +1,38 @@
+(** Deterministic simulated work-stealing executor.
+
+    All parallel GC phases (mark, forward, adjust, compact — as in the
+    paper's "parallelized phases, same as ParallelGC") are expressed as a
+    bag of tasks with known simulated costs.  The executor replays a
+    work-stealing schedule: [threads] simulated workers draw from their own
+    deques and steal from the most loaded victim when empty.  Task side
+    effects run exactly once, in schedule order, on the real (single) host
+    thread, so the simulation stays deterministic while the *makespan*
+    reflects parallel execution.
+
+    Guarantees checked by the property tests:
+    makespan >= max(total_work / threads, max_task_cost) and
+    makespan <= total_work + steal overhead. *)
+
+type stats = {
+  threads : int;
+  tasks : int;
+  steals : int;
+  total_work_ns : float;  (** sum of task costs *)
+  makespan_ns : float;  (** phase wall-clock, barrier included *)
+}
+
+val run :
+  threads:int ->
+  steal_ns:float ->
+  barrier_ns:float ->
+  cost:('a -> float) ->
+  execute:('a -> unit) ->
+  'a array ->
+  stats
+(** Round-robin initial distribution, LIFO local pops, steal-from-richest.
+    [execute] may mutate shared state; it is called once per task.
+    @raise Invalid_argument when [threads <= 0]. *)
+
+val makespan :
+  threads:int -> steal_ns:float -> barrier_ns:float -> float array -> float
+(** Cost-only convenience wrapper. *)

@@ -1,0 +1,1 @@
+lib/util/num_util.mli:

@@ -1,0 +1,29 @@
+(** Size and popularity distributions used by the workload generators.
+
+    Object-size demographics are the load-bearing property of each benchmark
+    (see DESIGN.md §4.5); all draws go through an explicit {!Rng.t}. *)
+
+type t =
+  | Fixed of int  (** Always the same value. *)
+  | Uniform of int * int  (** Inclusive range. *)
+  | Lognormal of { mu : float; sigma : float; min : int; max : int }
+      (** Heavy-tailed sizes clamped to [\[min, max\]]. *)
+  | Choice of (float * int) array
+      (** Weighted discrete choice: [(weight, value)]. *)
+
+val lognormal_mean : mean:float -> sigma:float -> min:int -> max:int -> t
+(** Lognormal parameterized by its arithmetic mean:
+    [mu = ln mean - sigma^2 / 2]. *)
+
+val sample : Rng.t -> t -> int
+(** Draw one value. *)
+
+val mean : t -> float
+(** Analytic (or empirical for [Lognormal]) expected value, used for heap
+    sizing. *)
+
+val zipf : Rng.t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [\[0, n)] with exponent [s]; models LRU-cache
+    key popularity. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+type t = {
+  samples : float Vec.t;
+  mutable sorted : bool;
+}
+
+let create () = { samples = Vec.create (); sorted = true }
+
+let add t x =
+  Vec.push t.samples x;
+  t.sorted <- false
+
+let count t = Vec.length t.samples
+
+let total t = Vec.fold_left ( +. ) 0.0 t.samples
+
+let mean t =
+  let n = count t in
+  if n = 0 then 0.0 else total t /. float_of_int n
+
+let max t = Vec.fold_left Float.max 0.0 t.samples
+
+let min t =
+  if count t = 0 then 0.0
+  else Vec.fold_left Float.min Float.max_float t.samples
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    Vec.sort Float.compare t.samples;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  let n = count t in
+  if n = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    let rank = Stdlib.max 0 (Stdlib.min (n - 1) rank) in
+    Vec.get t.samples rank
+  end
+
+let stddev t =
+  let n = count t in
+  if n < 2 then 0.0
+  else begin
+    let m = mean t in
+    let ss = Vec.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 t.samples in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let merge a b =
+  let t = create () in
+  Vec.iter (add t) a.samples;
+  Vec.iter (add t) b.samples;
+  t

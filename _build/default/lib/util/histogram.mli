@@ -1,0 +1,29 @@
+(** Streaming summary of a scalar sample (latencies, sizes, ...). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val max : t -> float
+(** 0 when empty. *)
+
+val min : t -> float
+(** 0 when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0, 100\]] (nearest-rank on the recorded
+    samples).  0 when empty. *)
+
+val stddev : t -> float
+
+val merge : t -> t -> t
+(** Combine two sample sets into a fresh one. *)

@@ -1,0 +1,18 @@
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Num_util.ceil_div: divisor must be positive";
+  (a + b - 1) / b
+
+let geomean xs =
+  let logs = List.filter_map (fun x -> if x > 0.0 then Some (log x) else None) xs in
+  match logs with
+  | [] -> 0.0
+  | _ ->
+    let n = float_of_int (List.length logs) in
+    exp (List.fold_left ( +. ) 0.0 logs /. n)
+
+let pct_change ~baseline ~value =
+  if baseline = 0.0 then 0.0 else (value -. baseline) /. baseline *. 100.0
+
+let speedup ~baseline ~value = if value = 0.0 then infinity else baseline /. value

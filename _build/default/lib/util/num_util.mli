@@ -1,0 +1,16 @@
+(** Small numeric helpers shared across the simulator. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor on non-negative arguments; [gcd 0 n = n]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is ⌈a/b⌉ for [a >= 0], [b > 0]. *)
+
+val geomean : float list -> float
+(** Geometric mean; 0 on the empty list; ignores non-positive entries. *)
+
+val pct_change : baseline:float -> value:float -> float
+(** [(value - baseline) / baseline * 100]. *)
+
+val speedup : baseline:float -> value:float -> float
+(** [baseline / value]; how many times faster [value] is. *)

@@ -1,0 +1,58 @@
+(** Growable arrays (the standard [Dynarray] is not available on OCaml 5.1).
+
+    Amortized O(1) push at the end, O(1) random access.  Not thread-safe. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty vector.  [capacity] pre-sizes the backing store. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x] at the end of [v]. *)
+
+val pop : 'a t -> 'a option
+(** [pop v] removes and returns the last element, or [None] if empty. *)
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element.  @raise Invalid_argument if out of
+    bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] overwrites the [i]-th element.  @raise Invalid_argument if
+    out of bounds. *)
+
+val clear : 'a t -> unit
+(** [clear v] removes every element (keeps the backing store). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : 'a list -> 'a t
+
+val of_array : 'a array -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** [sort cmp v] sorts [v] in place. *)
+
+val last : 'a t -> 'a option

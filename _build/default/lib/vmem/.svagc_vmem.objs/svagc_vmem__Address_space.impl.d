@@ -1,0 +1,1 @@
+lib/vmem/address_space.ml: Addr Bytes Cache_sim Char Format Int64 Machine Page_table Phys_mem Pte Tlb

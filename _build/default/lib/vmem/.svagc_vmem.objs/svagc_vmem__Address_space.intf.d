@@ -1,0 +1,1 @@
+lib/vmem/address_space.mli: Machine Page_table

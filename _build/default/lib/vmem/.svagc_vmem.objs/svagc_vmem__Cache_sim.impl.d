@@ -1,0 +1,1 @@
+lib/vmem/cache_sim.ml: Array

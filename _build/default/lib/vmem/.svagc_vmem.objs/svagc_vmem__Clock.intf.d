@@ -1,0 +1,1 @@
+lib/vmem/clock.mli: Format

@@ -1,0 +1,1 @@
+lib/vmem/cost_model.ml: Float Format

@@ -1,0 +1,1 @@
+lib/vmem/machine.ml: Addr Array Cache_sim Cost_model Perf Phys_mem Stdlib Tlb

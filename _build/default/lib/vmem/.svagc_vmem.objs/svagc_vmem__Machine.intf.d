@@ -1,0 +1,1 @@
+lib/vmem/machine.mli: Cache_sim Cost_model Perf Phys_mem Tlb

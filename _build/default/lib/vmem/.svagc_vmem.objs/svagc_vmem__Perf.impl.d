@@ -1,0 +1,1 @@
+lib/vmem/perf.ml: Format

@@ -1,0 +1,1 @@
+lib/vmem/perf.mli: Format

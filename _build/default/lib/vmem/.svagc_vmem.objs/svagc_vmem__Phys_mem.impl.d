@@ -1,0 +1,1 @@
+lib/vmem/phys_mem.ml: Addr Array Bytes Svagc_util

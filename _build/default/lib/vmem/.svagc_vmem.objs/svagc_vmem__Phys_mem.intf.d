@@ -1,0 +1,1 @@
+lib/vmem/phys_mem.mli:

@@ -1,0 +1,22 @@
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let level_bits = 9
+let entries_per_table = 1 lsl level_bits
+let pages_per_pmd = entries_per_table
+let page_number va = va lsr page_shift
+let page_offset va = va land (page_size - 1)
+let of_page vpn = vpn lsl page_shift
+let is_page_aligned va = page_offset va = 0
+let align_up va = (va + page_size - 1) land lnot (page_size - 1)
+let align_down va = va land lnot (page_size - 1)
+let pages_spanned len = (len + page_size - 1) lsr page_shift
+
+let index ~level va =
+  (va lsr (page_shift + (level * level_bits))) land (entries_per_table - 1)
+
+let pte_index va = index ~level:0 va
+let pmd_index va = index ~level:1 va
+let pud_index va = index ~level:2 va
+let p4d_index va = index ~level:3 va
+let pgd_index va = index ~level:4 va
+let pp ppf va = Format.fprintf ppf "0x%x" va

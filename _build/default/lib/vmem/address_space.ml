@@ -1,0 +1,133 @@
+type t = {
+  machine : Machine.t;
+  asid : int;
+  pt : Page_table.t;
+}
+
+let create machine =
+  { machine; asid = Machine.fresh_asid machine; pt = Page_table.create () }
+
+let machine t = t.machine
+
+let asid t = t.asid
+
+let page_table t = t.pt
+
+let map_range t ~va ~pages =
+  if not (Addr.is_page_aligned va) then
+    invalid_arg "Address_space.map_range: va not page-aligned";
+  for i = 0 to pages - 1 do
+    let page_va = va + (i * Addr.page_size) in
+    if Pte.is_present (Page_table.get_pte t.pt page_va) then
+      invalid_arg "Address_space.map_range: page already mapped";
+    let frame = Phys_mem.alloc_frame t.machine.Machine.phys in
+    Page_table.set_pte t.pt page_va (Pte.make ~frame)
+  done
+
+let unmap_range t ~va ~pages =
+  for i = 0 to pages - 1 do
+    let page_va = Addr.align_down va + (i * Addr.page_size) in
+    let pte = Page_table.get_pte t.pt page_va in
+    if Pte.is_present pte then begin
+      Phys_mem.free_frame t.machine.Machine.phys (Pte.frame_exn pte);
+      Page_table.set_pte t.pt page_va Pte.none
+    end
+  done
+
+let is_mapped t ~va = Pte.is_present (Page_table.get_pte t.pt va)
+
+let translate t ~va = Page_table.translate t.pt va
+
+let frame_of_exn t va =
+  match translate t ~va with
+  | Some (frame, off) -> (frame, off)
+  | None ->
+    invalid_arg (Format.asprintf "Address_space: unmapped address %a" Addr.pp va)
+
+(* Apply [f frame off len] to each page-bounded chunk of [va, va+len). *)
+let iter_chunks t ~va ~len f =
+  let pos = ref va in
+  let remaining = ref len in
+  let consumed = ref 0 in
+  while !remaining > 0 do
+    let frame, off = frame_of_exn t !pos in
+    let chunk = min !remaining (Addr.page_size - off) in
+    f ~frame ~off ~chunk ~at:!consumed;
+    pos := !pos + chunk;
+    consumed := !consumed + chunk;
+    remaining := !remaining - chunk
+  done
+
+let read_bytes t ~va ~len =
+  let out = Bytes.create len in
+  iter_chunks t ~va ~len (fun ~frame ~off ~chunk ~at ->
+      let src = Phys_mem.frame_bytes t.machine.Machine.phys frame in
+      Bytes.blit src off out at chunk);
+  out
+
+let write_bytes t ~va ~src =
+  let len = Bytes.length src in
+  iter_chunks t ~va ~len (fun ~frame ~off ~chunk ~at ->
+      Phys_mem.write t.machine.Machine.phys ~frame ~off ~src ~src_off:at ~len:chunk)
+
+let read_u8 t ~va =
+  let frame, off = frame_of_exn t va in
+  Char.code (Bytes.get (Phys_mem.frame_bytes t.machine.Machine.phys frame) off)
+
+let write_u8 t ~va v =
+  let frame, off = frame_of_exn t va in
+  Bytes.set (Phys_mem.frame_bytes t.machine.Machine.phys frame) off
+    (Char.chr (v land 0xff))
+
+let read_i64 t ~va =
+  let b = read_bytes t ~va ~len:8 in
+  Bytes.get_int64_le b 0
+
+let write_i64 t ~va v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write_bytes t ~va ~src:b
+
+let fill t ~va ~len c =
+  iter_chunks t ~va ~len (fun ~frame ~off ~chunk ~at:_ ->
+      Bytes.fill (Phys_mem.frame_bytes t.machine.Machine.phys frame) off chunk c)
+
+let checksum t ~va ~len =
+  let h = ref 0xcbf29ce484222325L in
+  iter_chunks t ~va ~len (fun ~frame ~off ~chunk ~at:_ ->
+      let b = Phys_mem.frame_bytes t.machine.Machine.phys frame in
+      for i = off to off + chunk - 1 do
+        h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+        h := Int64.mul !h 0x100000001b3L
+      done);
+  !h
+
+let touch t ~core ~va =
+  let c = Machine.core t.machine core in
+  let vpn = Addr.page_number va in
+  let frame =
+    match Tlb.lookup c.Machine.tlb ~asid:t.asid ~vpn with
+    | Some frame -> frame
+    | None -> (
+      match translate t ~va with
+      | Some (frame, _) ->
+        Tlb.insert c.Machine.tlb ~asid:t.asid ~vpn ~frame;
+        frame
+      | None ->
+        invalid_arg
+          (Format.asprintf "Address_space.touch: unmapped address %a" Addr.pp va))
+  in
+  let pa = (frame * Addr.page_size) + Addr.page_offset va in
+  Cache_sim.access t.machine.Machine.llc ~addr:pa
+
+let touch_range t ~core ~va ~len =
+  if len > 0 then begin
+    let line = Cache_sim.line_bytes t.machine.Machine.llc in
+    let pos = ref (va - (va mod line)) in
+    while !pos < va + len do
+      touch t ~core ~va:!pos;
+      pos := !pos + line
+    done
+  end
+
+let mapped_pages t = Page_table.mapped_pages t.pt

@@ -1,0 +1,58 @@
+(** A process's virtual address space over a {!Machine}.
+
+    Provides region mapping (backed by real simulated frames), raw byte IO
+    through the page tables, and a *measured* access path that also
+    exercises the per-core TLB and the shared cache model (used for the
+    Table III experiment).  Raw IO performs no cost accounting: callers
+    charge analytic costs from {!Cost_model}. *)
+
+type t
+
+val create : Machine.t -> t
+
+val machine : t -> Machine.t
+
+val asid : t -> int
+
+val page_table : t -> Page_table.t
+
+val map_range : t -> va:int -> pages:int -> unit
+(** Back [pages] pages starting at page-aligned [va] with fresh frames.
+    @raise Invalid_argument if [va] is not aligned or a page is already
+    mapped.  @raise Phys_mem.Out_of_frames when the machine is full. *)
+
+val unmap_range : t -> va:int -> pages:int -> unit
+(** Unmap and free the backing frames.  Unmapped pages are skipped. *)
+
+val is_mapped : t -> va:int -> bool
+
+val translate : t -> va:int -> (int * int) option
+(** [(frame, offset)]; no TLB interaction. *)
+
+val read_bytes : t -> va:int -> len:int -> bytes
+(** @raise Invalid_argument if any page in the range is unmapped. *)
+
+val write_bytes : t -> va:int -> src:bytes -> unit
+
+val read_u8 : t -> va:int -> int
+
+val write_u8 : t -> va:int -> int -> unit
+
+val read_i64 : t -> va:int -> int64
+
+val write_i64 : t -> va:int -> int64 -> unit
+
+val fill : t -> va:int -> len:int -> char -> unit
+
+val checksum : t -> va:int -> len:int -> int64
+(** FNV-1a over the range; the GC correctness oracle. *)
+
+val touch : t -> core:int -> va:int -> unit
+(** Measured access: TLB lookup (refill through the page table on a miss)
+    and one LLC line touch at the physical address.
+    @raise Invalid_argument if unmapped. *)
+
+val touch_range : t -> core:int -> va:int -> len:int -> unit
+(** {!touch} every cache line of the range (one TLB interaction per page). *)
+
+val mapped_pages : t -> int

@@ -1,0 +1,19 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+
+let now_ns t = t.now
+
+let advance t delta =
+  if delta < 0.0 then invalid_arg "Clock.advance: negative delta";
+  t.now <- t.now +. delta
+
+let reset t = t.now <- 0.0
+
+let pp_ns ppf ns =
+  if ns < 1e3 then Format.fprintf ppf "%.0fns" ns
+  else if ns < 1e6 then Format.fprintf ppf "%.2fus" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf ppf "%.2fms" (ns /. 1e6)
+  else Format.fprintf ppf "%.3fs" (ns /. 1e9)
+
+let pp ppf t = pp_ns ppf t.now

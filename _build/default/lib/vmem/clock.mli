@@ -1,0 +1,22 @@
+(** A simulated clock: a monotone accumulator of nanoseconds.
+
+    Kernel and GC primitives return costs; the caller advances whichever
+    clock the cost belongs to (application time, GC pause, per-thread
+    time in the work-stealing executor). *)
+
+type t
+
+val create : unit -> t
+
+val now_ns : t -> float
+
+val advance : t -> float -> unit
+(** @raise Invalid_argument on a negative delta. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Human-friendly: picks ns/us/ms/s. *)
+
+val pp_ns : Format.formatter -> float -> unit
+(** Render a raw nanosecond quantity with the same unit scaling. *)

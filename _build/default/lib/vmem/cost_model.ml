@@ -1,0 +1,126 @@
+type t = {
+  name : string;
+  cpu_ghz : float;
+  ncores : int;
+  dram_gib : int;
+  mem_access_ns : float;
+  pt_entry_ns : float;
+  lock_pair_ns : float;
+  syscall_ns : float;
+  swap_setup_ns : float;
+  tlb_flush_local_ns : float;
+  tlb_flush_page_ns : float;
+  ipi_ns : float;
+  ipi_ack_ns : float;
+  tlb_refill_ns : float;
+  pin_ns : float;
+  l2_copy_bytes : int;
+  cache_copy_bw : float;
+  dram_copy_bw : float;
+  machine_copy_bw : float;
+  mark_obj_ns : float;
+  forward_obj_ns : float;
+  adjust_obj_ns : float;
+  ref_scan_ns : float;
+  barrier_ns : float;
+  steal_ns : float;
+}
+
+let i5_7600 =
+  {
+    name = "i5-7600";
+    cpu_ghz = 3.5;
+    ncores = 4;
+    dram_gib = 24;
+    mem_access_ns = 85.0;
+    pt_entry_ns = 1.6;
+    lock_pair_ns = 1.2;
+    syscall_ns = 380.0;
+    swap_setup_ns = 110.0;
+    tlb_flush_local_ns = 140.0;
+    tlb_flush_page_ns = 20.0;
+    ipi_ns = 1600.0;
+    ipi_ack_ns = 120.0;
+    tlb_refill_ns = 110.0;
+    pin_ns = 900.0;
+    l2_copy_bytes = 256 * 1024;
+    cache_copy_bw = 38.0;
+    dram_copy_bw = 11.0;
+    machine_copy_bw = 26.0;
+    mark_obj_ns = 550.0;
+    forward_obj_ns = 300.0;
+    adjust_obj_ns = 450.0;
+    ref_scan_ns = 6.0;
+    barrier_ns = 1200.0;
+    steal_ns = 90.0;
+  }
+
+let xeon_6130 =
+  {
+    name = "xeon-6130";
+    cpu_ghz = 2.1;
+    ncores = 32;
+    dram_gib = 192;
+    mem_access_ns = 95.0;
+    pt_entry_ns = 1.5;
+    lock_pair_ns = 1.5;
+    syscall_ns = 480.0;
+    swap_setup_ns = 120.0;
+    tlb_flush_local_ns = 160.0;
+    tlb_flush_page_ns = 25.0;
+    ipi_ns = 2400.0;
+    ipi_ack_ns = 150.0;
+    tlb_refill_ns = 130.0;
+    pin_ns = 1100.0;
+    l2_copy_bytes = 256 * 1024;
+    cache_copy_bw = 30.0;
+    dram_copy_bw = 9.0;
+    machine_copy_bw = 64.0;
+    mark_obj_ns = 480.0;
+    forward_obj_ns = 260.0;
+    adjust_obj_ns = 380.0;
+    ref_scan_ns = 8.0;
+    barrier_ns = 2000.0;
+    steal_ns = 120.0;
+  }
+
+let xeon_6240 =
+  {
+    xeon_6130 with
+    name = "xeon-6240";
+    cpu_ghz = 2.6;
+    ncores = 36;
+    pt_entry_ns = 1.8;
+    lock_pair_ns = 1.4;
+    syscall_ns = 430.0;
+    swap_setup_ns = 100.0;
+    cache_copy_bw = 34.0;
+    dram_copy_bw = 10.5;
+    machine_copy_bw = 100.0;
+    mark_obj_ns = 430.0;
+    forward_obj_ns = 230.0;
+    adjust_obj_ns = 340.0;
+    ref_scan_ns = 6.5;
+  }
+
+let presets = [ i5_7600; xeon_6130; xeon_6240 ]
+
+let memmove_bw t ~bytes_len =
+  if bytes_len <= t.l2_copy_bytes then t.cache_copy_bw
+  else begin
+    (* Blend: the first [l2_copy_bytes] still stream from cache. *)
+    let cached = float_of_int t.l2_copy_bytes in
+    let total = float_of_int bytes_len in
+    let time = (cached /. t.cache_copy_bw) +. ((total -. cached) /. t.dram_copy_bw) in
+    total /. time
+  end
+
+let contended_bw t ~streams ~bw =
+  let streams = max 1 streams in
+  Float.min bw (t.machine_copy_bw /. float_of_int streams)
+
+let walk_cost_ns t = 5.0 *. t.pt_entry_ns
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%.1f GHz, %d cores, %d GiB)" t.name t.cpu_ghz t.ncores
+    t.dram_gib

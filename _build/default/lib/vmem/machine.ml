@@ -1,0 +1,63 @@
+type core = {
+  core_id : int;
+  tlb : Tlb.t;
+}
+
+type t = {
+  cost : Cost_model.t;
+  ncores : int;
+  cores : core array;
+  phys : Phys_mem.t;
+  perf : Perf.t;
+  llc : Cache_sim.t;
+  mutable copy_streams : int;
+  mutable next_asid : int;
+}
+
+let create ?ncores ?(phys_mib = 512) (cost : Cost_model.t) =
+  let ncores = match ncores with Some n -> n | None -> cost.ncores in
+  if ncores <= 0 then invalid_arg "Machine.create: ncores must be positive";
+  let frames = phys_mib * 1024 * 1024 / Addr.page_size in
+  {
+    cost;
+    ncores;
+    cores = Array.init ncores (fun core_id -> { core_id; tlb = Tlb.create () });
+    phys = Phys_mem.create ~frames;
+    perf = Perf.create ();
+    llc = Cache_sim.create ();
+    copy_streams = 1;
+    next_asid = 1;
+  }
+
+let core t i =
+  if i < 0 || i >= t.ncores then invalid_arg "Machine.core: no such core";
+  t.cores.(i)
+
+let fresh_asid t =
+  let asid = t.next_asid in
+  t.next_asid <- asid + 1;
+  asid
+
+let effective_copy_bw t ~bytes_len =
+  let bw = Cost_model.memmove_bw t.cost ~bytes_len in
+  Cost_model.contended_bw t.cost ~streams:t.copy_streams ~bw
+
+let ipi_broadcast_cost t ~from_core:_ =
+  (* Sends go out in parallel: the initiator pays one delivery latency
+     plus an ack-gathering cost per remote core, not a serial round trip
+     per core. *)
+  let remote = t.ncores - 1 in
+  t.perf.ipis_sent <- t.perf.ipis_sent + remote;
+  t.perf.shootdown_broadcasts <- t.perf.shootdown_broadcasts + 1;
+  if remote = 0 then 0.0
+  else t.cost.ipi_ns +. (float_of_int (remote - 1) *. t.cost.ipi_ack_ns)
+
+let flush_tlb_local t ~asid ~core =
+  Tlb.flush_asid (Stdlib.Array.get t.cores core).tlb ~asid;
+  t.perf.tlb_flush_local <- t.perf.tlb_flush_local + 1;
+  t.cost.tlb_flush_local_ns
+
+let flush_tlb_all_cores t ~asid ~from_core =
+  Array.iter (fun c -> Tlb.flush_asid c.tlb ~asid) t.cores;
+  t.perf.tlb_flush_local <- t.perf.tlb_flush_local + 1;
+  t.cost.tlb_flush_local_ns +. ipi_broadcast_cost t ~from_core

@@ -1,0 +1,47 @@
+(** The simulated multi-core machine: physical frames, per-core TLBs, a
+    shared last-level cache model, perf counters and the cost model.
+
+    A machine hosts one or more processes ({!Address_space}s); the paper's
+    multi-JVM experiments run several processes on one machine so they share
+    copy bandwidth (see {!copy_streams}). *)
+
+type core = {
+  core_id : int;
+  tlb : Tlb.t;
+}
+
+type t = {
+  cost : Cost_model.t;
+  ncores : int;
+  cores : core array;
+  phys : Phys_mem.t;
+  perf : Perf.t;
+  llc : Cache_sim.t;
+  mutable copy_streams : int;
+      (** Concurrent memory-intensive streams; divides the machine copy
+          bandwidth ceiling (multi-JVM contention). *)
+  mutable next_asid : int;
+}
+
+val create : ?ncores:int -> ?phys_mib:int -> Cost_model.t -> t
+(** [ncores] defaults to the preset's core count; [phys_mib] defaults to
+    512 MiB of simulated frames (frames are lazily materialized). *)
+
+val core : t -> int -> core
+
+val fresh_asid : t -> int
+
+val effective_copy_bw : t -> bytes_len:int -> float
+(** Single-stream memmove bandwidth under the current contention level. *)
+
+val ipi_broadcast_cost : t -> from_core:int -> float
+(** Cost charged to the initiating core for IPI-ing every other online core
+    (counts the IPIs in perf). *)
+
+val flush_tlb_all_cores : t -> asid:int -> from_core:int -> float
+(** The paper's [flush_tlb_all_cores(pid)]: invalidates the process's
+    entries in every core's TLB and returns the initiator-side cost
+    (local flush + one IPI per remote core). *)
+
+val flush_tlb_local : t -> asid:int -> core:int -> float
+(** Local-only flush of the process's entries on [core]. *)

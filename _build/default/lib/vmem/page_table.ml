@@ -1,0 +1,106 @@
+type node =
+  | Dir of node option array
+  | Leaf of Pte.value array
+
+type t = { root : node option array }
+
+let walk_dir_levels = 4
+
+let create () = { root = Array.make Addr.entries_per_table None }
+
+let indices va =
+  (Addr.pgd_index va, Addr.p4d_index va, Addr.pud_index va, Addr.pmd_index va)
+
+let find_leaf t va =
+  let i_pgd, i_p4d, i_pud, i_pmd = indices va in
+  let step slot =
+    match slot with
+    | Some (Dir entries) -> Some entries
+    | Some (Leaf _) | None -> None
+  in
+  match step t.root.(i_pgd) with
+  | None -> None
+  | Some p4d -> (
+    match step p4d.(i_p4d) with
+    | None -> None
+    | Some pud -> (
+      match step pud.(i_pud) with
+      | None -> None
+      | Some pmd -> (
+        match pmd.(i_pmd) with
+        | Some (Leaf ptes) -> Some ptes
+        | Some (Dir _) | None -> None)))
+
+let ensure_dir slot_get slot_set =
+  match slot_get () with
+  | Some (Dir entries) -> entries
+  | Some (Leaf _) -> invalid_arg "Page_table: leaf found at directory level"
+  | None ->
+    let entries = Array.make Addr.entries_per_table None in
+    slot_set (Dir entries);
+    entries
+
+let ensure_leaf t va =
+  let i_pgd, i_p4d, i_pud, i_pmd = indices va in
+  let p4d =
+    ensure_dir (fun () -> t.root.(i_pgd)) (fun n -> t.root.(i_pgd) <- Some n)
+  in
+  let pud =
+    ensure_dir (fun () -> p4d.(i_p4d)) (fun n -> p4d.(i_p4d) <- Some n)
+  in
+  let pmd =
+    ensure_dir (fun () -> pud.(i_pud)) (fun n -> pud.(i_pud) <- Some n)
+  in
+  match pmd.(i_pmd) with
+  | Some (Leaf ptes) -> ptes
+  | Some (Dir _) -> invalid_arg "Page_table: directory found at leaf level"
+  | None ->
+    let ptes = Array.make Addr.entries_per_table Pte.none in
+    pmd.(i_pmd) <- Some (Leaf ptes);
+    ptes
+
+let get_pte t va =
+  match find_leaf t va with
+  | None -> Pte.none
+  | Some ptes -> ptes.(Addr.pte_index va)
+
+let set_pte t va v =
+  let ptes = ensure_leaf t va in
+  ptes.(Addr.pte_index va) <- v
+
+let translate t va =
+  let v = get_pte t va in
+  if Pte.is_present v then Some (Pte.frame_exn v, Addr.page_offset va) else None
+
+let fold_leaves t ~f =
+  (* Reconstruct virtual page numbers from the index path. *)
+  let rec walk node ~level ~base =
+    match node with
+    | Leaf ptes ->
+      Array.iteri
+        (fun i v ->
+          if Pte.is_present v then
+            f ~vpn:((base * Addr.entries_per_table) + i) ~frame:(Pte.frame_exn v))
+        ptes
+    | Dir entries ->
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | None -> ()
+          | Some child ->
+            walk child ~level:(level - 1) ~base:((base * Addr.entries_per_table) + i))
+        entries
+  in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | None -> ()
+      | Some child -> walk child ~level:(walk_dir_levels - 1) ~base:i)
+    t.root
+
+let iter_mapped t ~f = fold_leaves t ~f
+
+let mapped_pages t =
+  let n = ref 0 in
+  fold_leaves t ~f:(fun ~vpn:_ ~frame:_ -> incr n);
+  !n

@@ -1,0 +1,35 @@
+(** Four-level radix page table (PGD -> P4D -> PUD -> PMD -> PTE leaf).
+
+    The structure mirrors Algorithm 1's walk: each [getPTE] descends four
+    directory levels to reach the leaf array of PTE words.  The leaf array
+    is exposed on purpose — the paper's PMD-caching optimization consists of
+    holding on to that array across consecutive pages, and SwapVA swaps
+    slots inside it. *)
+
+type t
+
+val create : unit -> t
+
+val find_leaf : t -> int -> Pte.value array option
+(** [find_leaf t va] is the PTE leaf table covering [va], if the directory
+    path exists.  Performs no allocation. *)
+
+val ensure_leaf : t -> int -> Pte.value array
+(** Like {!find_leaf} but materializes the directory path on demand. *)
+
+val get_pte : t -> int -> Pte.value
+(** [Pte.none] when unmapped. *)
+
+val set_pte : t -> int -> Pte.value -> unit
+(** Creates the directory path if needed. *)
+
+val translate : t -> int -> (int * int) option
+(** [translate t va] is [Some (frame, offset)] when mapped. *)
+
+val mapped_pages : t -> int
+(** Number of present PTEs (O(mapped), for tests and teardown). *)
+
+val iter_mapped : t -> f:(vpn:int -> frame:int -> unit) -> unit
+
+val walk_dir_levels : int
+(** Directory levels traversed per [getPTE]: 4 (pgd, p4d, pud, pmd). *)

@@ -1,0 +1,106 @@
+type t = {
+  mutable syscalls : int;
+  mutable swapva_calls : int;
+  mutable memmove_calls : int;
+  mutable ptes_swapped : int;
+  mutable pt_walks : int;
+  mutable pmd_cache_hits : int;
+  mutable bytes_copied : int;
+  mutable bytes_remapped : int;
+  mutable tlb_flush_local : int;
+  mutable tlb_flush_page : int;
+  mutable ipis_sent : int;
+  mutable shootdown_broadcasts : int;
+  mutable pins : int;
+  mutable gc_cycles : int;
+  mutable alloc_waste_bytes : int;
+  mutable alloc_bytes : int;
+}
+
+let create () =
+  {
+    syscalls = 0;
+    swapva_calls = 0;
+    memmove_calls = 0;
+    ptes_swapped = 0;
+    pt_walks = 0;
+    pmd_cache_hits = 0;
+    bytes_copied = 0;
+    bytes_remapped = 0;
+    tlb_flush_local = 0;
+    tlb_flush_page = 0;
+    ipis_sent = 0;
+    shootdown_broadcasts = 0;
+    pins = 0;
+    gc_cycles = 0;
+    alloc_waste_bytes = 0;
+    alloc_bytes = 0;
+  }
+
+let reset t =
+  t.syscalls <- 0;
+  t.swapva_calls <- 0;
+  t.memmove_calls <- 0;
+  t.ptes_swapped <- 0;
+  t.pt_walks <- 0;
+  t.pmd_cache_hits <- 0;
+  t.bytes_copied <- 0;
+  t.bytes_remapped <- 0;
+  t.tlb_flush_local <- 0;
+  t.tlb_flush_page <- 0;
+  t.ipis_sent <- 0;
+  t.shootdown_broadcasts <- 0;
+  t.pins <- 0;
+  t.gc_cycles <- 0;
+  t.alloc_waste_bytes <- 0;
+  t.alloc_bytes <- 0
+
+let copy t =
+  {
+    syscalls = t.syscalls;
+    swapva_calls = t.swapva_calls;
+    memmove_calls = t.memmove_calls;
+    ptes_swapped = t.ptes_swapped;
+    pt_walks = t.pt_walks;
+    pmd_cache_hits = t.pmd_cache_hits;
+    bytes_copied = t.bytes_copied;
+    bytes_remapped = t.bytes_remapped;
+    tlb_flush_local = t.tlb_flush_local;
+    tlb_flush_page = t.tlb_flush_page;
+    ipis_sent = t.ipis_sent;
+    shootdown_broadcasts = t.shootdown_broadcasts;
+    pins = t.pins;
+    gc_cycles = t.gc_cycles;
+    alloc_waste_bytes = t.alloc_waste_bytes;
+    alloc_bytes = t.alloc_bytes;
+  }
+
+let diff ~after ~before =
+  {
+    syscalls = after.syscalls - before.syscalls;
+    swapva_calls = after.swapva_calls - before.swapva_calls;
+    memmove_calls = after.memmove_calls - before.memmove_calls;
+    ptes_swapped = after.ptes_swapped - before.ptes_swapped;
+    pt_walks = after.pt_walks - before.pt_walks;
+    pmd_cache_hits = after.pmd_cache_hits - before.pmd_cache_hits;
+    bytes_copied = after.bytes_copied - before.bytes_copied;
+    bytes_remapped = after.bytes_remapped - before.bytes_remapped;
+    tlb_flush_local = after.tlb_flush_local - before.tlb_flush_local;
+    tlb_flush_page = after.tlb_flush_page - before.tlb_flush_page;
+    ipis_sent = after.ipis_sent - before.ipis_sent;
+    shootdown_broadcasts = after.shootdown_broadcasts - before.shootdown_broadcasts;
+    pins = after.pins - before.pins;
+    gc_cycles = after.gc_cycles - before.gc_cycles;
+    alloc_waste_bytes = after.alloc_waste_bytes - before.alloc_waste_bytes;
+    alloc_bytes = after.alloc_bytes - before.alloc_bytes;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "syscalls=%d swapva=%d memmove=%d ptes_swapped=%d walks=%d pmd_hits=%d \
+     copied=%dB remapped=%dB flush_local=%d flush_page=%d ipis=%d broadcasts=%d \
+     pins=%d gcs=%d waste=%dB alloc=%dB"
+    t.syscalls t.swapva_calls t.memmove_calls t.ptes_swapped t.pt_walks
+    t.pmd_cache_hits t.bytes_copied t.bytes_remapped t.tlb_flush_local
+    t.tlb_flush_page t.ipis_sent t.shootdown_broadcasts t.pins t.gc_cycles
+    t.alloc_waste_bytes t.alloc_bytes

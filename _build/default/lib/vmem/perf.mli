@@ -1,0 +1,35 @@
+(** Machine-wide event counters (the simulator's `perf`).
+
+    Counters are plain mutable ints; experiments snapshot/reset around the
+    region of interest. *)
+
+type t = {
+  mutable syscalls : int;
+  mutable swapva_calls : int;
+  mutable memmove_calls : int;
+  mutable ptes_swapped : int;
+  mutable pt_walks : int;  (** full 4-level getPTE walks *)
+  mutable pmd_cache_hits : int;
+  mutable bytes_copied : int;  (** physically moved by memmove *)
+  mutable bytes_remapped : int;  (** logically moved by SwapVA *)
+  mutable tlb_flush_local : int;
+  mutable tlb_flush_page : int;
+  mutable ipis_sent : int;
+  mutable shootdown_broadcasts : int;
+  mutable pins : int;
+  mutable gc_cycles : int;
+  mutable alloc_waste_bytes : int;  (** page-alignment fragmentation *)
+  mutable alloc_bytes : int;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val copy : t -> t
+(** Snapshot. *)
+
+val diff : after:t -> before:t -> t
+(** Per-field subtraction. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = {
+  frames : bytes option array;
+  free : int Svagc_util.Vec.t;
+  mutable in_use : int;
+}
+
+exception Out_of_frames
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
+  let free = Svagc_util.Vec.create () in
+  (* Push in reverse so frame numbers are handed out in increasing order,
+     which keeps traces readable. *)
+  for i = frames - 1 downto 0 do
+    Svagc_util.Vec.push free i
+  done;
+  { frames = Array.make frames None; free; in_use = 0 }
+
+let capacity_frames t = Array.length t.frames
+
+let frames_in_use t = t.in_use
+
+let alloc_frame t =
+  match Svagc_util.Vec.pop t.free with
+  | None -> raise Out_of_frames
+  | Some frame ->
+    t.frames.(frame) <- Some (Bytes.make Addr.page_size '\000');
+    t.in_use <- t.in_use + 1;
+    frame
+
+let free_frame t frame =
+  match t.frames.(frame) with
+  | None -> invalid_arg "Phys_mem.free_frame: frame not in use"
+  | Some _ ->
+    t.frames.(frame) <- None;
+    t.in_use <- t.in_use - 1;
+    Svagc_util.Vec.push t.free frame
+
+let frame_bytes t frame =
+  if frame < 0 || frame >= Array.length t.frames then
+    invalid_arg "Phys_mem.frame_bytes: no such frame";
+  match t.frames.(frame) with
+  | None -> invalid_arg "Phys_mem.frame_bytes: frame not in use"
+  | Some b -> b
+
+let check_range ~off ~len =
+  if off < 0 || len < 0 || off + len > Addr.page_size then
+    invalid_arg "Phys_mem: range escapes the page"
+
+let read t ~frame ~off ~len =
+  check_range ~off ~len;
+  Bytes.sub (frame_bytes t frame) off len
+
+let write t ~frame ~off ~src ~src_off ~len =
+  check_range ~off ~len;
+  Bytes.blit src src_off (frame_bytes t frame) off len
+
+let blit t ~src_frame ~src_off ~dst_frame ~dst_off ~len =
+  check_range ~off:src_off ~len;
+  check_range ~off:dst_off ~len;
+  Bytes.blit (frame_bytes t src_frame) src_off (frame_bytes t dst_frame) dst_off len

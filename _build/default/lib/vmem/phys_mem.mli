@@ -1,0 +1,32 @@
+(** Simulated physical memory: a pool of 4 KiB frames backed by real
+    [Bytes], so data movement performed by the kernel (memmove) and by
+    SwapVA (PTE remapping) is observable and checkable byte-for-byte. *)
+
+type t
+
+val create : frames:int -> t
+(** A pool of [frames] frames.  Frame payloads are allocated lazily. *)
+
+val capacity_frames : t -> int
+
+val frames_in_use : t -> int
+
+exception Out_of_frames
+
+val alloc_frame : t -> int
+(** Returns a free frame number (zero-filled).  @raise Out_of_frames. *)
+
+val free_frame : t -> int -> unit
+(** Returns a frame to the pool.  @raise Invalid_argument if not in use. *)
+
+val frame_bytes : t -> int -> bytes
+(** Direct view of a frame's backing store (always [page_size] long).
+    @raise Invalid_argument if the frame is not in use. *)
+
+val read : t -> frame:int -> off:int -> len:int -> bytes
+
+val write : t -> frame:int -> off:int -> src:bytes -> src_off:int -> len:int -> unit
+
+val blit :
+  t -> src_frame:int -> src_off:int -> dst_frame:int -> dst_off:int -> len:int -> unit
+(** Copy within/between frames; ranges must stay inside one page each. *)

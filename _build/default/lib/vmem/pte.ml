@@ -1,0 +1,17 @@
+type value = int
+
+let none = 0
+
+let make ~frame =
+  if frame < 0 then invalid_arg "Pte.make: negative frame";
+  frame + 1
+
+let is_present v = v <> none
+
+let frame_exn v =
+  if v = none then invalid_arg "Pte.frame_exn: entry not present";
+  v - 1
+
+let pp ppf v =
+  if is_present v then Format.fprintf ppf "pte(frame=%d)" (frame_exn v)
+  else Format.pp_print_string ppf "pte(none)"

@@ -1,0 +1,18 @@
+(** Page-table entries, encoded as single immutable words like hardware PTEs.
+
+    A leaf table is an [int array]; swapping two PTEs is swapping two array
+    slots, which is exactly the operation the SwapVA system call performs. *)
+
+type value = int
+(** 0 = not present; otherwise [frame + 1]. *)
+
+val none : value
+
+val make : frame:int -> value
+
+val is_present : value -> bool
+
+val frame_exn : value -> int
+(** @raise Invalid_argument on a non-present entry. *)
+
+val pp : Format.formatter -> value -> unit

@@ -1,0 +1,36 @@
+(** Per-core translation lookaside buffer: set-associative, LRU, tagged by
+    address-space id so flushes can target one process (the paper's
+    process-scoped shootdown) or a single page. *)
+
+type t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes_full : int;
+  mutable flushes_asid : int;
+  mutable flushes_page : int;
+}
+
+val create : ?entries:int -> ?ways:int -> unit -> t
+(** Defaults: 64 entries, 4-way (a typical L1 DTLB). *)
+
+val lookup : t -> asid:int -> vpn:int -> int option
+(** [Some frame] on a hit; updates recency and hit/miss counters. *)
+
+val insert : t -> asid:int -> vpn:int -> frame:int -> unit
+(** Fill after a page walk, evicting the set's LRU way if needed. *)
+
+val flush_all : t -> unit
+
+val flush_asid : t -> asid:int -> unit
+
+val flush_page : t -> asid:int -> vpn:int -> unit
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val entries : t -> int
+
+val occupied : t -> int

@@ -1,0 +1,1 @@
+lib/workloads/bisort.ml: Demographics Svagc_util

@@ -1,0 +1,1 @@
+lib/workloads/compress.ml: Demographics Svagc_util

@@ -1,0 +1,1 @@
+lib/workloads/crypto_aes.ml: Demographics Svagc_util

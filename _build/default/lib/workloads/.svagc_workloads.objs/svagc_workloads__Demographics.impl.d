@@ -1,0 +1,1 @@
+lib/workloads/demographics.ml: Array Bytes Char Svagc_core Svagc_heap Svagc_util Workload

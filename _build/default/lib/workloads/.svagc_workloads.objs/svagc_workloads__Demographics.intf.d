@@ -1,0 +1,1 @@
+lib/workloads/demographics.mli: Svagc_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/lru_cache.ml: Array Svagc_core Svagc_heap Svagc_util Workload

@@ -1,0 +1,1 @@
+lib/workloads/lu.ml: Demographics Svagc_util

@@ -1,0 +1,1 @@
+lib/workloads/pagerank.ml: Svagc_core Svagc_heap Svagc_util Workload

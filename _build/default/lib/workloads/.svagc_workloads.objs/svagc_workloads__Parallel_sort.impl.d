@@ -1,0 +1,1 @@
+lib/workloads/parallel_sort.ml: Demographics Svagc_util

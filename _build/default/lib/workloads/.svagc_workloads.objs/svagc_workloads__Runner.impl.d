@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Gc Svagc_core Svagc_gc Svagc_heap Svagc_util Workload

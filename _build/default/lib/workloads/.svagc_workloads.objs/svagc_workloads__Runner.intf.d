@@ -1,0 +1,1 @@
+lib/workloads/runner.mli: Svagc_core Svagc_gc Svagc_heap Svagc_vmem Workload

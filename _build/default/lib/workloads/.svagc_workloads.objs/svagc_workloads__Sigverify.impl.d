@@ -1,0 +1,1 @@
+lib/workloads/sigverify.ml: Demographics Svagc_util

@@ -1,0 +1,1 @@
+lib/workloads/sparse.ml: Demographics Svagc_util

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Bisort Compress Crypto_aes Fft List Lru_cache Lu Pagerank Parallel_sort Printf Sigverify Sor Sparse Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Svagc_core Svagc_util Svagc_vmem

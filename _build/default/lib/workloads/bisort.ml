@@ -1,0 +1,24 @@
+(* JOlden bisort: bitonic sort over a binary tree of 2M integers.  Tree
+   nodes are tiny (tens of bytes); virtually nothing crosses the swapping
+   threshold, so this benchmark bounds SwapVA's benefit from below (its
+   Table III deltas are among the smallest). *)
+
+let profile =
+  {
+    Demographics.name = "Bisort";
+    suite = "JOlden";
+    paper_threads = 896;
+    paper_heap_gib = "8 - 19.2";
+    sim_threads = 8;
+    size_dist =
+      Svagc_util.Dist.Choice [| (400.0, 48); (16.0, 256); (0.1, 64 * 1024) |];
+    n_refs = 2;
+    slots = 24_000;
+    churn_per_step = 800;
+    compute_ns_per_step = 170_000.0;
+    mem_bytes_per_step = 1024 * 1024;
+    payload_stamp_bytes = 16;
+    description = "bitonic-sort tree nodes (tiny objects, 2M entries)";
+  }
+
+let workload = Demographics.workload profile

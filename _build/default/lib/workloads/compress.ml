@@ -1,0 +1,26 @@
+(* SPECjvm2008 compress: LZW-style compression of large input blocks.
+   Each work item allocates an input buffer and a (smaller) output buffer,
+   both above the threshold, then drops them — pure churn with moderate
+   compute. *)
+
+let kib = 1024
+
+let profile =
+  {
+    Demographics.name = "Compress";
+    suite = "SPECjvm2008";
+    paper_threads = 640;
+    paper_heap_gib = "19 - 32";
+    sim_threads = 8;
+    size_dist =
+      Svagc_util.Dist.Choice [| (1.0, 128 * kib); (1.0, 72 * kib); (0.5, 24 * kib) |];
+    n_refs = 1;
+    slots = 700;
+    churn_per_step = 30;
+    compute_ns_per_step = 110_000.0;
+    mem_bytes_per_step = 768 * kib;
+    payload_stamp_bytes = 96;
+    description = "compression input/output buffer churn (24-128 KB)";
+  }
+
+let workload = Demographics.workload profile

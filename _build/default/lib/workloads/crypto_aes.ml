@@ -1,0 +1,27 @@
+(* SPECjvm2008 crypto.aes: block-cipher encryption of medium buffers.
+   High compute per byte (key schedule + rounds dominate), so GC is a
+   small share of total time and the throughput gain is the smallest in
+   the suite (15.2%, Fig. 15). *)
+
+let kib = 1024
+
+let profile =
+  {
+    Demographics.name = "CryptoAES";
+    suite = "SPECjvm2008";
+    paper_threads = 96;
+    paper_heap_gib = "5.2 - 8.67";
+    sim_threads = 8;
+    size_dist =
+      Svagc_util.Dist.lognormal_mean ~mean:(96.0 *. 1024.0) ~sigma:0.5
+        ~min:(16 * kib) ~max:(512 * kib);
+    n_refs = 1;
+    slots = 400;
+    churn_per_step = 16;
+    compute_ns_per_step = 450_000.0;
+    mem_bytes_per_step = 512 * kib;
+    payload_stamp_bytes = 96;
+    description = "AES plaintext/ciphertext buffers; compute-dominated";
+  }
+
+let workload = Demographics.workload profile

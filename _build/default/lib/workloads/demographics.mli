@@ -1,0 +1,31 @@
+(** Generic churn engine used by the benchmark modules.
+
+    Maintains a rooted working set of [slots] objects drawn from
+    [size_dist]; every step replaces [churn_per_step] randomly chosen slots
+    with fresh allocations (round-robin across the simulated mutator
+    threads), links a couple of references between neighbours, writes a
+    small payload stamp, and charges the step's compute time and memory
+    traffic to the application clock.  Replaced objects become garbage; the
+    heap fills at the churn rate and full GCs fire on exhaustion. *)
+
+type profile = {
+  name : string;
+  suite : string;
+  paper_threads : int;
+  paper_heap_gib : string;
+  sim_threads : int;
+  size_dist : Svagc_util.Dist.t;
+  n_refs : int;  (** reference slots per object *)
+  slots : int;  (** rooted working-set entries *)
+  churn_per_step : int;
+  compute_ns_per_step : float;  (** pure CPU work per step *)
+  mem_bytes_per_step : int;  (** app DRAM traffic per step (contended) *)
+  payload_stamp_bytes : int;  (** bytes actually written per new object *)
+  description : string;
+}
+
+val min_heap_bytes : profile -> int
+(** Estimated live set plus churn headroom; the Table II "minimum heap"
+    equivalent. *)
+
+val workload : profile -> Workload.t

@@ -1,0 +1,47 @@
+(* SPECjvm2008 scimark.fft.large: Fourier transforms over large complex
+   arrays.  The paper reports a 64 KB average object size [20] and creates
+   1/8 and 1/16 input-size variants; smaller inputs mean proportionally
+   smaller arrays, which is what pushes the variants below the swapping
+   threshold.  Compute-intensive (O(n log n) flops per allocated byte), so
+   the GC share of total time — and hence the throughput gain — is modest
+   (Fig. 15/16). *)
+
+let kib = 1024
+
+let profile ~variant ~mean_size =
+  {
+    Demographics.name = (if variant = "" then "FFT.large" else "FFT.large/" ^ variant);
+    suite = "SPECjvm2008";
+    paper_threads = 576;
+    paper_heap_gib = "19.2 - 40";
+    sim_threads = 8;
+    size_dist =
+      Svagc_util.Dist.lognormal_mean ~mean:(float_of_int mean_size) ~sigma:0.4
+        ~min:(4 * kib) ~max:(512 * kib);
+    n_refs = 2;
+    slots = 700;
+    churn_per_step = 16;
+    compute_ns_per_step = 230_000.0;
+    mem_bytes_per_step = 768 * kib;
+    payload_stamp_bytes = 96;
+    description = "FFT butterflies over large complex arrays (avg 64 KB objects)";
+  }
+
+let large = Demographics.workload (profile ~variant:"" ~mean_size:(64 * kib))
+
+(* Smaller inputs spread wider relative to their mean: a thin tail of
+   rows still crosses the threshold, giving the variants their small but
+   positive Fig. 11 gains. *)
+let eighth =
+  let p = profile ~variant:"8" ~mean_size:(8 * kib) in
+  Demographics.workload
+    { p with Demographics.size_dist =
+        Svagc_util.Dist.lognormal_mean ~mean:(8.0 *. 1024.0) ~sigma:0.85
+          ~min:(2 * kib) ~max:(256 * kib) }
+
+let sixteenth =
+  let p = profile ~variant:"16" ~mean_size:(4 * kib) in
+  Demographics.workload
+    { p with Demographics.size_dist =
+        Svagc_util.Dist.lognormal_mean ~mean:(4.0 *. 1024.0) ~sigma:0.85
+          ~min:kib ~max:(128 * kib) }

@@ -1,0 +1,26 @@
+(* SPECjvm2008 scimark.lu.large: blocked LU factorization.  Matrix panels
+   are reallocated as the factorization advances; blocks are uniform and
+   comfortably above the swapping threshold.  Compute per byte sits between
+   FFT and Sparse (O(b) flops per element). *)
+
+let kib = 1024
+
+let profile =
+  {
+    Demographics.name = "LU.large";
+    suite = "SPECjvm2008";
+    paper_threads = 224;
+    paper_heap_gib = "3 - 5";
+    sim_threads = 8;
+    size_dist = Svagc_util.Dist.lognormal_mean ~mean:(64.0 *. 1024.0) ~sigma:0.35
+        ~min:(16 * kib) ~max:(256 * kib);
+    n_refs = 2;
+    slots = 600;
+    churn_per_step = 22;
+    compute_ns_per_step = 130_000.0;
+    mem_bytes_per_step = 512 * kib;
+    payload_stamp_bytes = 96;
+    description = "LU factorization panels (uniform ~64 KB blocks)";
+  }
+
+let large = Demographics.workload profile

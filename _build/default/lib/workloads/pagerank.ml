@@ -1,0 +1,75 @@
+(* Spark-bench PageRank on a random graph of 78K nodes / 780K edges (the
+   paper's PR configuration).  The heap holds many small per-node records
+   plus medium adjacency-segment arrays; each iteration reallocates the
+   rank vectors (a few large arrays).  The mix of mostly-small with a few
+   large objects puts PR's gains between Bisort and the array benchmarks. *)
+
+module Dist = Svagc_util.Dist
+module Rng = Svagc_util.Rng
+module Jvm = Svagc_core.Jvm
+module Heap = Svagc_heap.Heap
+
+let kib = 1024
+
+(* Scaled graph: 1/8 of the paper's node count, same shape. *)
+let nodes = 78_000 / 16
+let edges = nodes * 10
+let node_bytes = 64
+let segment_nodes = 800 (* adjacency segment: ~10 edges/node * 8 B * 800 *)
+let segment_bytes = segment_nodes * 10 * 8
+let rank_vector_bytes = nodes * 8
+
+let min_heap_bytes =
+  let live =
+    (nodes * node_bytes) + (edges * 8) + (3 * rank_vector_bytes) + (4 * 1024 * kib)
+  in
+  int_of_float (float_of_int live *. 1.15)
+
+let setup jvm rng =
+  let heap = Jvm.heap jvm in
+  (* Node records: stay live for the whole run. *)
+  for i = 0 to nodes - 1 do
+    let obj = Jvm.alloc ~thread:(i mod 8) jvm ~size:node_bytes ~n_refs:1 ~cls:1 in
+    Heap.add_root heap obj
+  done;
+  (* Adjacency segments: live, above threshold. *)
+  let segments = nodes / segment_nodes in
+  for i = 0 to segments - 1 do
+    let obj = Jvm.alloc ~thread:(i mod 8) jvm ~size:segment_bytes ~n_refs:0 ~cls:2 in
+    Heap.add_root heap obj
+  done;
+  (* Rank vectors: double-buffered, reallocated every iteration. *)
+  let ranks = ref [] in
+  let alloc_rank () =
+    let obj = Jvm.alloc jvm ~size:rank_vector_bytes ~n_refs:0 ~cls:3 in
+    Heap.add_root heap obj;
+    obj
+  in
+  ranks := [ alloc_rank (); alloc_rank () ];
+  fun () ->
+    (* One PageRank iteration: drop the old back buffer, allocate a new
+       one, stream the edges. *)
+    (match !ranks with
+    | old :: rest ->
+      Heap.remove_root heap old;
+      ranks := rest @ [ alloc_rank () ]
+    | [] -> ranks := [ alloc_rank () ]);
+    (* Scratch churn: message combiner buffers of mixed sizes. *)
+    for _ = 0 to 5 do
+      let size = 8 * kib * (1 + Rng.int rng 8) in
+      ignore (Jvm.alloc jvm ~size ~n_refs:0 ~cls:4)
+    done;
+    Jvm.charge_app_ns jvm 220_000.0;
+    Jvm.charge_app_mem jvm ~bytes:(edges * 16)
+
+let workload =
+  {
+    Workload.name = "PR";
+    suite = "Spark";
+    paper_threads = 288;
+    paper_heap_gib = "4 - 6.5";
+    sim_threads = 8;
+    min_heap_bytes;
+    description = "PageRank, 78K nodes / 780K edges (scaled 1/16)";
+    setup;
+  }

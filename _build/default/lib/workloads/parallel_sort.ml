@@ -1,0 +1,27 @@
+(* OpenJDK Arrays.parallelSort over 2M-entry arrays: the input array is
+   split into run buffers that are merged pairwise, so allocation is a mix
+   of a few multi-megabyte arrays and many sub-megabyte merge chunks —
+   almost all above the threshold. *)
+
+let kib = 1024
+
+let profile =
+  {
+    Demographics.name = "ParSort";
+    suite = "OpenJDK";
+    paper_threads = 896;
+    paper_heap_gib = "16 - 50";
+    sim_threads = 8;
+    size_dist =
+      Svagc_util.Dist.Choice
+        [| (8.0, 512 * kib); (4.0, 128 * kib); (1.0, 4 * 1024 * kib) |];
+    n_refs = 2;
+    slots = 64;
+    churn_per_step = 4;
+    compute_ns_per_step = 190_000.0;
+    mem_bytes_per_step = 1024 * kib;
+    payload_stamp_bytes = 96;
+    description = "parallel merge-sort run and merge buffers (2M entries)";
+  }
+
+let workload = Demographics.workload profile

@@ -1,0 +1,57 @@
+module Jvm = Svagc_core.Jvm
+module Gc_intf = Svagc_gc.Gc_intf
+
+type result = {
+  workload : string;
+  collector : string;
+  heap_factor : float;
+  heap_bytes : int;
+  steps : int;
+  app_ns : float;
+  gc_ns : float;
+  total_ns : float;
+  throughput : float;
+  summary : Svagc_gc.Gc_stats.summary;
+  cycles : Svagc_gc.Gc_stats.cycle list;
+}
+
+let make_jvm ?(heap_factor = 1.2) ?(stamp_headers = true) ~machine ~collector_of
+    workload =
+  let heap_bytes = Workload.heap_bytes workload ~factor:heap_factor in
+  Jvm.create machine
+    ~name:(workload.Workload.name ^ "-jvm")
+    ~heap_bytes ~stamp_headers ~collector_of ()
+
+let run ?(heap_factor = 1.2) ?(steps = 60) ?(min_gcs = 4) ?(max_steps = 3000)
+    ?(seed = 7) ?(stamp_headers = true) ~machine ~collector_of workload =
+  let jvm = make_jvm ~heap_factor ~stamp_headers ~machine ~collector_of workload in
+  let rng = Svagc_util.Rng.create ~seed in
+  let step = workload.Workload.setup jvm rng in
+  let executed = ref 0 in
+  let continue () =
+    !executed < steps || (Jvm.gc_count jvm < min_gcs && !executed < max_steps)
+  in
+  while continue () do
+    step ();
+    incr executed
+  done;
+  let cycles = Jvm.cycles jvm in
+  let total_ns = Jvm.total_ns jvm in
+  (* Each run materializes up to a couple hundred MiB of simulated frames;
+     sweeping experiments run dozens of JVMs back to back, so return the
+     memory eagerly instead of letting host RSS ratchet up. *)
+  Gc.full_major ();
+  {
+    workload = workload.Workload.name;
+    collector = Gc_intf.name (Jvm.collector jvm);
+    heap_factor;
+    heap_bytes = Svagc_heap.Heap.limit (Jvm.heap jvm) - Svagc_heap.Heap.base (Jvm.heap jvm);
+    steps = !executed;
+    app_ns = Jvm.app_ns jvm;
+    gc_ns = Jvm.gc_ns jvm;
+    total_ns;
+    throughput =
+      (if total_ns > 0.0 then float_of_int !executed /. (total_ns /. 1e6) else 0.0);
+    summary = Svagc_gc.Gc_stats.summarize cycles;
+    cycles;
+  }

@@ -1,0 +1,29 @@
+(* SPECjvm2008 scimark.sor.large: successive over-relaxation sweeps over a
+   2-D grid stored as row arrays.  The paper's "SOR.large x10" variant
+   scales the input tenfold (heap 51.5-85.8 GiB on their testbed); rows
+   become wide, uniformly sized arrays — ideal SwapVA food.  Memory-bound
+   stencil: high GC share. *)
+
+let kib = 1024
+
+let profile ~variant ~row_bytes ~slots =
+  {
+    Demographics.name = "SOR.large" ^ variant;
+    suite = "SPECjvm2008";
+    paper_threads = 32;
+    paper_heap_gib = "51.5 - 85.8";
+    sim_threads = 8;
+    size_dist = Svagc_util.Dist.Fixed row_bytes;
+    n_refs = 2;
+    slots;
+    churn_per_step = 12;
+    compute_ns_per_step = 40_000.0;
+    mem_bytes_per_step = 512 * kib;
+    payload_stamp_bytes = 96;
+    description = "SOR grid rows (uniform wide arrays; x10 input)";
+  }
+
+let large = Demographics.workload (profile ~variant:"" ~row_bytes:(16 * kib) ~slots:1200)
+
+let large_x10 =
+  Demographics.workload (profile ~variant:" x10" ~row_bytes:(160 * kib) ~slots:300)

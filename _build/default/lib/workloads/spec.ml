@@ -1,0 +1,38 @@
+let suite =
+  [
+    Bisort.workload;
+    Parallel_sort.workload;
+    Sparse.quarter;
+    Sparse.half;
+    Sparse.large;
+    Fft.sixteenth;
+    Fft.eighth;
+    Fft.large;
+    Sor.large_x10;
+    Lu.large;
+    Crypto_aes.workload;
+    Sigverify.default;
+    Compress.workload;
+    Pagerank.workload;
+  ]
+
+let all =
+  suite @ [ Sor.large; Sigverify.ten_mib; Sigverify.hundred_mib; Lru_cache.workload ]
+
+let find name =
+  match List.find_opt (fun w -> w.Workload.name = name) all with
+  | Some w -> w
+  | None -> raise Not_found
+
+let table_ii_rows () =
+  List.map
+    (fun w ->
+      [
+        w.Workload.name;
+        w.Workload.suite;
+        string_of_int w.Workload.paper_threads;
+        w.Workload.paper_heap_gib;
+        Printf.sprintf "%.1f MiB"
+          (float_of_int w.Workload.min_heap_bytes /. 1024.0 /. 1024.0);
+      ])
+    all

@@ -1,0 +1,16 @@
+(** Table II registry: every benchmark with its paper configuration and
+    our scaled simulation equivalent. *)
+
+val all : Workload.t list
+(** Everything, LRUCache included. *)
+
+val suite : Workload.t list
+(** The 14 benchmarks of Fig. 11 / Table III, in the paper's Table III
+    order: Bisort, ParSort, Sparse.large/4, /2, large, FFT.large/16, /8,
+    large, SOR.large x10, LU.large, CryptoAES, Sigverify, Compress, PR. *)
+
+val find : string -> Workload.t
+(** Lookup by name.  @raise Not_found. *)
+
+val table_ii_rows : unit -> string list list
+(** name / suite / paper threads / paper heap / simulated heap rows. *)

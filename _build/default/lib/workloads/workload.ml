@@ -1,0 +1,15 @@
+type t = {
+  name : string;
+  suite : string;
+  paper_threads : int;
+  paper_heap_gib : string;
+  sim_threads : int;
+  min_heap_bytes : int;
+  description : string;
+  setup : Svagc_core.Jvm.t -> Svagc_util.Rng.t -> step;
+}
+
+and step = unit -> unit
+
+let heap_bytes t ~factor =
+  Svagc_vmem.Addr.align_up (int_of_float (float_of_int t.min_heap_bytes *. factor))

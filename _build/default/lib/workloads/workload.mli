@@ -1,0 +1,26 @@
+(** The benchmark abstraction.
+
+    A workload is defined by its *object demographics* — size distribution,
+    working-set, churn and compute intensity — which is exactly what the
+    paper states about each benchmark (§V: FFT 64 KB average, Sparse 50 KB,
+    Sigverify 1 MiB+, LRUCache [1,2M] B, ...).  Sizes are kept at paper
+    scale because the 10-page swapping threshold is absolute; object
+    *counts* are scaled down so runs stay laptop-sized (documented in
+    DESIGN.md). *)
+
+type t = {
+  name : string;
+  suite : string;  (** SPECjvm2008 / JOlden / Spark / OpenJDK / synthetic *)
+  paper_threads : int;  (** Table II thread count *)
+  paper_heap_gib : string;  (** Table II heap range, for reporting *)
+  sim_threads : int;  (** mutator threads simulated here *)
+  min_heap_bytes : int;  (** scaled minimum heap; runs use 1.2x / 2x this *)
+  description : string;
+  setup : Svagc_core.Jvm.t -> Svagc_util.Rng.t -> step;
+}
+
+and step = unit -> unit
+(** One mutator iteration: allocate / mutate / drop / charge app time. *)
+
+val heap_bytes : t -> factor:float -> int
+(** [min_heap_bytes] scaled by the heap factor, page-aligned. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bytes Char Cost_model Heap List Machine Obj_model Svagc_heap Svagc_kernel Svagc_util Svagc_vmem

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Char Heap Helpers List Machine Obj_model Printf QCheck QCheck_alcotest Svagc_core Svagc_gc Svagc_heap Svagc_kernel Svagc_util Svagc_vmem

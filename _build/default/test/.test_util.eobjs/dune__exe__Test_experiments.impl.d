@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Float List Svagc_experiments Svagc_gc Svagc_workloads

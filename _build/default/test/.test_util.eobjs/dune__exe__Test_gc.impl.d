@@ -1,0 +1,1 @@
+test/test_gc.ml: Addr Alcotest Array Float Heap Helpers List Obj_model QCheck QCheck_alcotest Svagc_gc Svagc_heap Svagc_vmem

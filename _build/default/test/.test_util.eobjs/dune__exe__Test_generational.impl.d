@@ -1,0 +1,1 @@
+test/test_generational.ml: Alcotest Array Bytes Char Cost_model Heap List Machine Obj_model Perf QCheck QCheck_alcotest Svagc_core Svagc_gc Svagc_heap Svagc_kernel Svagc_util Svagc_vmem

@@ -1,0 +1,1 @@
+test/test_heap.ml: Addr Address_space Alcotest Bytes Cost_model Gen Heap List Machine Obj_model QCheck QCheck_alcotest Svagc_heap Svagc_kernel Svagc_util Svagc_vmem Tlab

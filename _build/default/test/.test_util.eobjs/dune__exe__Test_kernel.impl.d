@@ -1,0 +1,1 @@
+test/test_kernel.ml: Addr Address_space Alcotest Array Bytes Char Cost_model Gen List Machine Perf QCheck QCheck_alcotest Svagc_kernel Svagc_vmem Tlb

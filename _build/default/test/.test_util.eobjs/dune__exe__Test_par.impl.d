@@ -1,0 +1,1 @@
+test/test_par.ml: Alcotest Array Float Gen Hashtbl List Option QCheck QCheck_alcotest Svagc_par

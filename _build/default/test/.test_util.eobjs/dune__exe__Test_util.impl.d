@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dist Gen Histogram List Num_util QCheck QCheck_alcotest Rng Svagc_util Vec

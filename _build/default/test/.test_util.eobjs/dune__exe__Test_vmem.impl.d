@@ -1,0 +1,1 @@
+test/test_vmem.ml: Addr Address_space Alcotest Array Bytes Cache_sim Char Clock Cost_model Hashtbl List Machine Page_table Perf Phys_mem Pte QCheck QCheck_alcotest Svagc_vmem Tlb

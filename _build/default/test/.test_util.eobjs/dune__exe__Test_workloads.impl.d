@@ -1,0 +1,1 @@
+test/test_workloads.ml: Addr Alcotest Cost_model List Machine Svagc_core Svagc_gc Svagc_heap Svagc_util Svagc_vmem Svagc_workloads

@@ -1,0 +1,276 @@
+(* Tests for the Table I extension collectors: the generational nursery
+   (minor copying with SwapVA) and the semispace evacuation model. *)
+
+open Svagc_vmem
+open Svagc_heap
+module Generational = Svagc_gc.Generational
+module Semispace = Svagc_gc.Semispace
+module Compact = Svagc_gc.Compact
+module Move_object = Svagc_core.Move_object
+module Config = Svagc_core.Config
+
+let qtest ?(count = 10) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let machine () = Machine.create ~ncores:4 ~phys_mib:128 Cost_model.xeon_6130
+
+let proc () = Svagc_kernel.Process.create (machine ())
+
+let minor_config =
+  (* Table I row 2: aggregation + PMD caching on, overlapping not
+     applicable (spaces are disjoint), pinning per Algorithm 4. *)
+  Config.default
+
+let swap_mover = Move_object.mover minor_config
+
+(* --- Generational --- *)
+
+let gen_fixture () =
+  Generational.create (proc ()) ~young_bytes:(8 * 1024 * 1024)
+    ~old_bytes:(32 * 1024 * 1024) ()
+
+let populate_young gen ~n ~rng =
+  List.init n (fun i ->
+      let size =
+        if i mod 3 = 0 then (40 * 1024) + Svagc_util.Rng.int rng 32768
+        else 64 + Svagc_util.Rng.int rng 1024
+      in
+      let obj = Generational.alloc gen ~size ~n_refs:1 ~cls:0 in
+      if i mod 2 = 0 then Generational.add_root gen obj;
+      obj)
+
+let test_minor_promotes_survivors () =
+  let gen = gen_fixture () in
+  let rng = Svagc_util.Rng.create ~seed:1 in
+  let objs = populate_young gen ~n:40 ~rng in
+  let young_count = Heap.object_count (Generational.young gen) in
+  let stats = Generational.minor gen ~mover:swap_mover in
+  Alcotest.(check int) "roots promoted" 20 stats.Generational.promoted_objects;
+  Alcotest.(check int) "nursery empty" 0
+    (Heap.object_count (Generational.young gen));
+  Alcotest.(check int) "survivors in old space" 20
+    (Heap.object_count (Generational.old_space gen));
+  Alcotest.(check bool) "some garbage reclaimed" true
+    (stats.Generational.reclaimed_bytes > 0);
+  Alcotest.(check bool) "nursery had everything before" true (young_count = 40);
+  (* Promoted objects live at old-space addresses. *)
+  List.iteri
+    (fun i o ->
+      if i mod 2 = 0 then
+        Alcotest.(check bool) "address in old space" true
+          (o.Obj_model.addr >= Heap.base (Generational.old_space gen)))
+    objs
+
+let test_minor_uses_swapva_for_large () =
+  let gen = gen_fixture () in
+  let rng = Svagc_util.Rng.create ~seed:2 in
+  ignore (populate_young gen ~n:40 ~rng);
+  let machine = Svagc_kernel.Process.machine (Heap.proc (Generational.young gen)) in
+  let flush_page_before = machine.Machine.perf.Perf.tlb_flush_page in
+  let stats = Generational.minor gen ~mover:swap_mover in
+  Alcotest.(check bool) "large survivors swapped" true
+    (stats.Generational.swapped_objects > 0);
+  (* Disjoint spaces: the Algorithm 2 (overlap) path never fires, so no
+     per-page flushes were issued (Table I: Overlapping = "-" for minor). *)
+  Alcotest.(check int) "overlap path never used" flush_page_before
+    machine.Machine.perf.Perf.tlb_flush_page
+
+let test_minor_preserves_payloads () =
+  let gen = gen_fixture () in
+  let young = Generational.young gen in
+  let keep =
+    List.init 10 (fun i ->
+        let obj = Generational.alloc gen ~size:(48 * 1024) ~n_refs:0 ~cls:0 in
+        Heap.write_payload young obj ~off:0 (Bytes.make 64 (Char.chr (65 + i)));
+        Generational.add_root gen obj;
+        (obj, Heap.checksum_object young obj))
+  in
+  ignore (Generational.minor gen ~mover:swap_mover);
+  let old_space = Generational.old_space gen in
+  List.iter
+    (fun (o, ck) ->
+      Alcotest.(check int64) "payload intact after promotion" ck
+        (Heap.checksum_object old_space o);
+      Alcotest.(check bool) "header intact" true (Heap.header_matches old_space o))
+    keep
+
+let test_minor_rewrites_references () =
+  let gen = gen_fixture () in
+  let a = Generational.alloc gen ~size:1024 ~n_refs:1 ~cls:0 in
+  let b = Generational.alloc gen ~size:(48 * 1024) ~n_refs:0 ~cls:0 in
+  Generational.set_ref gen a ~slot:0 (Some b);
+  Generational.add_root gen a;
+  (* b unrooted but reachable from a: both must be promoted, the link must
+     follow. *)
+  ignore (Generational.minor gen ~mover:swap_mover);
+  match Generational.deref gen a ~slot:0 with
+  | Some o -> Alcotest.(check int) "link follows promotion" b.Obj_model.id o.Obj_model.id
+  | None -> Alcotest.fail "reference lost in promotion"
+
+let test_old_to_young_roots () =
+  let gen = gen_fixture () in
+  (* An old object keeps a young one alive (remembered-set behaviour). *)
+  let elder = Generational.alloc gen ~size:1024 ~n_refs:1 ~cls:0 in
+  Generational.add_root gen elder;
+  ignore (Generational.minor gen ~mover:swap_mover);
+  (* elder now lives in the old space. *)
+  let youngling = Generational.alloc gen ~size:2048 ~n_refs:0 ~cls:0 in
+  Generational.set_ref gen elder ~slot:0 (Some youngling);
+  ignore (Generational.minor gen ~mover:swap_mover);
+  (match Generational.deref gen elder ~slot:0 with
+  | Some o ->
+    Alcotest.(check int) "young object survived via old->young ref"
+      youngling.Obj_model.id o.Obj_model.id;
+    Alcotest.(check bool) "and was promoted" true
+      (o.Obj_model.addr >= Heap.base (Generational.old_space gen))
+  | None -> Alcotest.fail "old->young reference dropped")
+
+let test_full_collects_old_garbage () =
+  let gen = gen_fixture () in
+  let rng = Svagc_util.Rng.create ~seed:5 in
+  ignore (populate_young gen ~n:40 ~rng);
+  ignore (Generational.minor gen ~mover:swap_mover);
+  (* Drop every old root: a full collection must empty the old space. *)
+  Svagc_util.Vec.iter
+    (fun o -> Generational.remove_root gen o)
+    (Heap.objects (Generational.old_space gen));
+  let cycle = Generational.full gen ~mover:swap_mover in
+  Alcotest.(check int) "old space emptied" 0
+    (Heap.object_count (Generational.old_space gen));
+  Alcotest.(check bool) "bytes reclaimed" true (cycle.Svagc_gc.Gc_stats.reclaimed_bytes > 0)
+
+let test_alloc_survives_pressure () =
+  let gen =
+    Generational.create (proc ()) ~young_bytes:(4 * 1024 * 1024)
+      ~old_bytes:(12 * 1024 * 1024) ()
+  in
+  let rng = Svagc_util.Rng.create ~seed:9 in
+  (* Sustained churn: rooted window of 16 objects, the rest garbage. *)
+  let window = Array.make 16 None in
+  for i = 0 to 800 do
+    let size = 16 * 1024 in
+    let obj = Generational.alloc gen ~size ~n_refs:0 ~cls:0 in
+    let slot = Svagc_util.Rng.int rng 16 in
+    (match window.(slot) with
+    | Some old -> Generational.remove_root gen old
+    | None -> ());
+    Generational.add_root gen obj;
+    window.(slot) <- Some obj;
+    ignore i
+  done;
+  Alcotest.(check bool) "minors happened" true
+    (List.length (Generational.minors gen) >= 2)
+
+let prop_minor_deterministic =
+  qtest "minor collections are deterministic"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let run () =
+        let gen = gen_fixture () in
+        let rng = Svagc_util.Rng.create ~seed in
+        ignore (populate_young gen ~n:30 ~rng);
+        let s = Generational.minor gen ~mover:swap_mover in
+        (s.Generational.promoted_objects, s.Generational.promoted_bytes,
+         s.Generational.swapped_objects)
+      in
+      run () = run ())
+
+(* --- Semispace --- *)
+
+let semi_fixture () =
+  Semispace.create (proc ()) ~space_bytes:(8 * 1024 * 1024) ()
+
+let test_semispace_flip () =
+  let semi = semi_fixture () in
+  let heap = Semispace.heap semi in
+  let base0 = Semispace.active_base semi in
+  let keep =
+    List.init 6 (fun i ->
+        let o = Semispace.alloc semi ~size:(64 * 1024) ~n_refs:0 ~cls:0 in
+        Heap.write_payload heap o ~off:0 (Bytes.make 32 (Char.chr (97 + i)));
+        Heap.add_root heap o;
+        (o, Heap.checksum_object heap o))
+  in
+  ignore (Semispace.collect semi ~mover:(Move_object.mover Config.default));
+  Alcotest.(check bool) "halves flipped" true (Semispace.active_base semi <> base0);
+  List.iter
+    (fun (o, ck) ->
+      Alcotest.(check bool) "evacuated into the other half" true
+        (o.Obj_model.addr >= Semispace.active_base semi
+        && o.Obj_model.addr < Semispace.active_base semi + (8 * 1024 * 1024));
+      Alcotest.(check int64) "contents preserved" ck (Heap.checksum_object heap o))
+    keep
+
+let test_semispace_no_overlap_path () =
+  let semi = semi_fixture () in
+  let heap = Semispace.heap semi in
+  for _ = 1 to 12 do
+    let o = Semispace.alloc semi ~size:(80 * 1024) ~n_refs:0 ~cls:0 in
+    Heap.add_root heap o
+  done;
+  let machine = Svagc_kernel.Process.machine (Heap.proc heap) in
+  let flush_page_before = machine.Machine.perf.Perf.tlb_flush_page in
+  let stats = Semispace.collect semi ~mover:(Move_object.mover Config.default) in
+  Alcotest.(check bool) "evacuation swapped" true (stats.Semispace.swapped_objects > 0);
+  Alcotest.(check int) "Algorithm 2 never fired (disjoint spaces)"
+    flush_page_before machine.Machine.perf.Perf.tlb_flush_page
+
+let test_semispace_mostly_concurrent () =
+  let semi = semi_fixture () in
+  let heap = Semispace.heap semi in
+  for _ = 1 to 8 do
+    Heap.add_root heap (Semispace.alloc semi ~size:(64 * 1024) ~n_refs:0 ~cls:0)
+  done;
+  let stats = Semispace.collect semi ~mover:Compact.memmove_mover in
+  Alcotest.(check bool) "pause is the small slice" true
+    (stats.Semispace.pause_ns < stats.Semispace.concurrent_ns /. 4.0)
+
+let test_semispace_alloc_triggers_collection () =
+  let semi =
+    Semispace.create (proc ()) ~space_bytes:(2 * 1024 * 1024) ()
+  in
+  for _ = 1 to 60 do
+    ignore (Semispace.alloc semi ~size:(128 * 1024) ~n_refs:0 ~cls:0)
+  done;
+  Alcotest.(check bool) "cycles ran" true (List.length (Semispace.cycles semi) >= 1)
+
+let test_semispace_oom_when_survivors_overflow () =
+  let semi =
+    Semispace.create (proc ()) ~space_bytes:(1024 * 1024) ()
+  in
+  let heap = Semispace.heap semi in
+  Alcotest.check_raises "overflow" Semispace.Out_of_memory (fun () ->
+      for _ = 1 to 40 do
+        let o = Semispace.alloc semi ~size:(128 * 1024) ~n_refs:0 ~cls:0 in
+        Heap.add_root heap o
+      done)
+
+let () =
+  Alcotest.run "svagc_generational"
+    [
+      ( "generational",
+        [
+          Alcotest.test_case "minor promotes survivors" `Quick
+            test_minor_promotes_survivors;
+          Alcotest.test_case "minor uses SwapVA" `Quick test_minor_uses_swapva_for_large;
+          Alcotest.test_case "minor preserves payloads" `Quick
+            test_minor_preserves_payloads;
+          Alcotest.test_case "minor rewrites references" `Quick
+            test_minor_rewrites_references;
+          Alcotest.test_case "old->young roots" `Quick test_old_to_young_roots;
+          Alcotest.test_case "full collects old garbage" `Quick
+            test_full_collects_old_garbage;
+          Alcotest.test_case "sustained churn" `Slow test_alloc_survives_pressure;
+          prop_minor_deterministic;
+        ] );
+      ( "semispace",
+        [
+          Alcotest.test_case "flip preserves contents" `Quick test_semispace_flip;
+          Alcotest.test_case "no overlap path" `Quick test_semispace_no_overlap_path;
+          Alcotest.test_case "mostly concurrent" `Quick test_semispace_mostly_concurrent;
+          Alcotest.test_case "alloc triggers cycles" `Quick
+            test_semispace_alloc_triggers_collection;
+          Alcotest.test_case "survivor overflow" `Quick
+            test_semispace_oom_when_survivors_overflow;
+        ] );
+    ]

@@ -1,0 +1,64 @@
+(* Tests for the reporting library (lib/metrics). *)
+
+module Table = Svagc_metrics.Table
+module Report = Svagc_metrics.Report
+
+let test_table_basic () =
+  let s =
+    Table.render ~headers:[ "a"; "b" ] [ [ "x"; "1" ]; [ "long-cell"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + sep x3 + 2 rows" 6 (List.length lines);
+  (* All lines share the same width. *)
+  let widths = List.map String.length lines in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths;
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "contains cell" true (contains s "long-cell")
+
+let test_table_pads_short_rows () =
+  let s = Table.render ~headers:[ "a"; "b"; "c" ] [ [ "only" ] ] in
+  Alcotest.(check bool) "renders without exception" true (String.length s > 0)
+
+let test_table_align_mismatch () =
+  Alcotest.(check bool) "aligns length checked" true
+    (try
+       ignore (Table.render ~aligns:[ Table.Left ] ~headers:[ "a"; "b" ] []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_report_ns () =
+  Alcotest.(check string) "ns" "500ns" (Report.ns 500.0);
+  Alcotest.(check string) "us" "1.50us" (Report.ns 1500.0);
+  Alcotest.(check string) "ms" "2.50ms" (Report.ns 2_500_000.0);
+  Alcotest.(check string) "s" "1.200s" (Report.ns 1.2e9)
+
+let test_report_bytes () =
+  Alcotest.(check string) "b" "100B" (Report.bytes 100);
+  Alcotest.(check string) "kib" "1.5KiB" (Report.bytes 1536);
+  Alcotest.(check string) "mib" "2.0MiB" (Report.bytes (2 * 1024 * 1024));
+  Alcotest.(check string) "gib" "1.00GiB" (Report.bytes (1024 * 1024 * 1024))
+
+let test_report_pct_speedup () =
+  Alcotest.(check string) "pct" "12.3%" (Report.pct 12.34);
+  Alcotest.(check string) "speedup" "3.82x" (Report.speedup 3.82)
+
+let () =
+  Alcotest.run "svagc_metrics"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "basic" `Quick test_table_basic;
+          Alcotest.test_case "short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "align mismatch" `Quick test_table_align_mismatch;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "ns scaling" `Quick test_report_ns;
+          Alcotest.test_case "bytes scaling" `Quick test_report_bytes;
+          Alcotest.test_case "pct/speedup" `Quick test_report_pct_speedup;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+(* Tests for the simulated work-stealing executor. *)
+
+module Work_steal = Svagc_par.Work_steal
+
+let qtest ?(count = 150) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let run ?(threads = 4) ?(steal_ns = 0.0) ?(barrier_ns = 0.0) costs =
+  Work_steal.run ~threads ~steal_ns ~barrier_ns ~cost:(fun c -> c)
+    ~execute:ignore (Array.of_list costs)
+
+let test_empty () =
+  let st = run [] in
+  Alcotest.(check (float 1e-9)) "empty makespan" 0.0 st.Work_steal.makespan_ns;
+  Alcotest.(check int) "no steals" 0 st.Work_steal.steals
+
+let test_single_thread_is_sum () =
+  let st = run ~threads:1 ~barrier_ns:5.0 [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check (float 1e-9)) "sum + barrier" 11.0 st.Work_steal.makespan_ns
+
+let test_perfect_split () =
+  let st = run ~threads:2 [ 10.0; 10.0 ] in
+  Alcotest.(check (float 1e-9)) "parallel halves" 10.0 st.Work_steal.makespan_ns
+
+let test_execute_each_once () =
+  let seen = Hashtbl.create 16 in
+  let items = Array.init 100 (fun i -> i) in
+  let st =
+    Work_steal.run ~threads:3 ~steal_ns:1.0 ~barrier_ns:0.0
+      ~cost:(fun i -> float_of_int (i mod 7))
+      ~execute:(fun i ->
+        Hashtbl.replace seen i (1 + Option.value ~default:0 (Hashtbl.find_opt seen i)))
+      items
+  in
+  Alcotest.(check int) "tasks" 100 st.Work_steal.tasks;
+  Alcotest.(check int) "all executed" 100 (Hashtbl.length seen);
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "exactly once" 1 n) seen
+
+let test_stealing_happens_on_imbalance () =
+  (* With round-robin seeding, thread 0 gets all the heavy tasks unless
+     the others steal. *)
+  let costs = List.init 12 (fun i -> if i mod 3 = 0 then 100.0 else 1.0) in
+  let st = run ~threads:3 ~steal_ns:1.0 costs in
+  Alcotest.(check bool) "makespan beats serial heavy chain" true
+    (st.Work_steal.makespan_ns < 400.0 -. 1e-9)
+
+let test_more_threads_not_slower () =
+  let costs = List.init 64 (fun i -> float_of_int (1 + (i mod 9))) in
+  let t1 = (run ~threads:1 costs).Work_steal.makespan_ns in
+  let t4 = (run ~threads:4 costs).Work_steal.makespan_ns in
+  let t16 = (run ~threads:16 costs).Work_steal.makespan_ns in
+  Alcotest.(check bool) "4 <= 1" true (t4 <= t1 +. 1e-9);
+  Alcotest.(check bool) "16 <= 4 (free stealing)" true (t16 <= t4 +. 1e-9)
+
+let test_deterministic () =
+  let costs = List.init 50 (fun i -> float_of_int ((i * 37 mod 11) + 1)) in
+  let a = run ~threads:5 ~steal_ns:2.0 costs in
+  let b = run ~threads:5 ~steal_ns:2.0 costs in
+  Alcotest.(check (float 1e-12)) "same makespan" a.Work_steal.makespan_ns
+    b.Work_steal.makespan_ns;
+  Alcotest.(check int) "same steals" a.Work_steal.steals b.Work_steal.steals
+
+let test_invalid_threads () =
+  Alcotest.check_raises "zero threads"
+    (Invalid_argument "Work_steal.run: threads must be positive") (fun () ->
+      ignore (run ~threads:0 [ 1.0 ]))
+
+let arb_costs =
+  QCheck.(
+    pair (int_range 1 8)
+      (list_of_size Gen.(1 -- 60) (float_range 0.0 100.0)))
+
+let prop_makespan_lower_bounds =
+  qtest "makespan >= max(total/threads, max_task)" arb_costs
+    (fun (threads, costs) ->
+      let st = run ~threads costs in
+      let total = List.fold_left ( +. ) 0.0 costs in
+      let biggest = List.fold_left Float.max 0.0 costs in
+      st.Work_steal.makespan_ns +. 1e-6 >= total /. float_of_int threads
+      && st.Work_steal.makespan_ns +. 1e-6 >= biggest)
+
+let prop_makespan_upper_bound =
+  qtest "makespan <= total work + steal overhead" arb_costs
+    (fun (threads, costs) ->
+      let st =
+        Work_steal.run ~threads ~steal_ns:3.0 ~barrier_ns:0.0 ~cost:(fun c -> c)
+          ~execute:ignore (Array.of_list costs)
+      in
+      st.Work_steal.makespan_ns
+      <= List.fold_left ( +. ) 0.0 costs
+         +. (3.0 *. float_of_int st.Work_steal.steals)
+         +. 1e-6)
+
+let prop_total_work_preserved =
+  qtest "total work = sum of costs" arb_costs
+    (fun (threads, costs) ->
+      let st = run ~threads costs in
+      Float.abs (st.Work_steal.total_work_ns -. List.fold_left ( +. ) 0.0 costs)
+      < 1e-6)
+
+let () =
+  Alcotest.run "svagc_par"
+    [
+      ( "work_steal",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single thread" `Quick test_single_thread_is_sum;
+          Alcotest.test_case "perfect split" `Quick test_perfect_split;
+          Alcotest.test_case "execute once" `Quick test_execute_each_once;
+          Alcotest.test_case "steal on imbalance" `Quick test_stealing_happens_on_imbalance;
+          Alcotest.test_case "threads monotone" `Quick test_more_threads_not_slower;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "invalid threads" `Quick test_invalid_threads;
+          prop_makespan_lower_bounds;
+          prop_makespan_upper_bound;
+          prop_total_work_preserved;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Unit and property tests for svagc_util: Vec, Rng, Dist, Histogram,
+   Num_util. *)
+
+open Svagc_util
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* --- Vec --- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 0;
+  Alcotest.(check int) "set 7" 0 (Vec.get v 7)
+
+let test_vec_pop () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "pop" (Some 3) (Vec.pop v);
+  Alcotest.(check (option int)) "pop" (Some 2) (Vec.pop v);
+  Alcotest.(check (option int)) "pop" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v);
+  Alcotest.(check bool) "empty" true (Vec.is_empty v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v (-1)))
+
+let test_vec_iterators () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold" 10 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "for_all" true (Vec.for_all (fun x -> x > 0) v);
+  Alcotest.(check (option int)) "find" (Some 2) (Vec.find_opt (fun x -> x mod 2 = 0) v);
+  Alcotest.(check (list int)) "map" [ 2; 4; 6; 8 ] (Vec.to_list (Vec.map (fun x -> 2 * x) v));
+  Alcotest.(check (list int)) "filter" [ 2; 4 ]
+    (Vec.to_list (Vec.filter (fun x -> x mod 2 = 0) v));
+  Alcotest.(check (option int)) "last" (Some 4) (Vec.last v)
+
+let test_vec_clear_reuse () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  Alcotest.(check (list int)) "reusable" [ 9 ] (Vec.to_list v)
+
+let prop_vec_roundtrip =
+  qtest "vec: of_list |> to_list = id"
+    QCheck.(list int)
+    (fun l -> Vec.to_list (Vec.of_list l) = l)
+
+let prop_vec_sort =
+  qtest "vec: sort agrees with List.sort"
+    QCheck.(list int)
+    (fun l ->
+      let v = Vec.of_list l in
+      Vec.sort compare v;
+      Vec.to_list v = List.sort compare l)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "same stream" (Rng.int a 1_000_000) (Rng.int b 1_000_000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let prop_rng_int_bounds =
+  qtest "rng: int in [0, bound)"
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_int_in =
+  qtest "rng: int_in inclusive range"
+    QCheck.(triple small_int (int_range (-100) 100) (int_range 0 1000))
+    (fun (seed, lo, span) ->
+      let rng = Rng.create ~seed in
+      let hi = lo + span in
+      let v = Rng.int_in rng ~lo ~hi in
+      v >= lo && v <= hi)
+
+let prop_rng_float_unit =
+  qtest "rng: float in [0,1)"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let v = Rng.float rng in
+      v >= 0.0 && v < 1.0)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:9 in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+(* --- Dist --- *)
+
+let prop_dist_uniform_range =
+  qtest "dist: uniform sample in range"
+    QCheck.(pair small_int (pair (int_range 0 1000) (int_range 0 1000)))
+    (fun (seed, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let rng = Rng.create ~seed in
+      let v = Dist.sample rng (Dist.Uniform (lo, hi)) in
+      v >= lo && v <= hi)
+
+let prop_dist_lognormal_clamped =
+  qtest "dist: lognormal clamped"
+    QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let d = Dist.lognormal_mean ~mean:50_000.0 ~sigma:1.0 ~min:1024 ~max:100_000 in
+      let v = Dist.sample rng d in
+      v >= 1024 && v <= 100_000)
+
+let test_dist_fixed () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.(check int) "fixed" 77 (Dist.sample rng (Dist.Fixed 77));
+  Alcotest.(check (float 1e-9)) "mean" 77.0 (Dist.mean (Dist.Fixed 77))
+
+let test_dist_choice_members () =
+  let rng = Rng.create ~seed:3 in
+  let d = Dist.Choice [| (1.0, 10); (2.0, 20); (3.0, 30) |] in
+  for _ = 1 to 200 do
+    let v = Dist.sample rng d in
+    Alcotest.(check bool) "member" true (List.mem v [ 10; 20; 30 ])
+  done
+
+let test_dist_choice_mean () =
+  let d = Dist.Choice [| (1.0, 10); (1.0, 30) |] in
+  Alcotest.(check (float 1e-9)) "weighted mean" 20.0 (Dist.mean d)
+
+let test_dist_choice_weights_respected () =
+  (* With weights 9:1 the heavy value must dominate. *)
+  let rng = Rng.create ~seed:5 in
+  let d = Dist.Choice [| (9.0, 1); (1.0, 2) |] in
+  let ones = ref 0 in
+  for _ = 1 to 1000 do
+    if Dist.sample rng d = 1 then incr ones
+  done;
+  Alcotest.(check bool) "heavy value dominates" true (!ones > 800)
+
+let prop_dist_zipf_range =
+  qtest "dist: zipf rank within [0, n)"
+    QCheck.(pair small_int (int_range 1 500))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let r = Dist.zipf rng ~n ~s:0.9 in
+      r >= 0 && r < n)
+
+let test_dist_zipf_skew () =
+  let rng = Rng.create ~seed:4 in
+  let hits = Array.make 100 0 in
+  for _ = 1 to 5000 do
+    let r = Dist.zipf rng ~n:100 ~s:1.1 in
+    hits.(r) <- hits.(r) + 1
+  done;
+  Alcotest.(check bool) "rank 0 is the most popular" true
+    (hits.(0) > hits.(50) && hits.(0) > 5000 / 20)
+
+(* --- Histogram --- *)
+
+let test_histogram_basic () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Histogram.max h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Histogram.min h);
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (Histogram.percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Histogram.percentile h 100.0)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "percentile empty" 0.0 (Histogram.percentile h 99.0)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 1.0;
+  Histogram.add b 3.0;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Histogram.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2.0 (Histogram.mean m)
+
+let prop_histogram_mean_bounds =
+  qtest "histogram: min <= mean <= max"
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      Histogram.min h <= Histogram.mean h +. 1e-9
+      && Histogram.mean h <= Histogram.max h +. 1e-9)
+
+(* --- Num_util --- *)
+
+let test_gcd () =
+  Alcotest.(check int) "gcd 12 18" 6 (Num_util.gcd 12 18);
+  Alcotest.(check int) "gcd 0 n" 7 (Num_util.gcd 0 7);
+  Alcotest.(check int) "gcd n 0" 7 (Num_util.gcd 7 0);
+  Alcotest.(check int) "coprime" 1 (Num_util.gcd 17 4)
+
+let prop_gcd_divides =
+  qtest "gcd divides both arguments"
+    QCheck.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let g = Num_util.gcd a b in
+      g > 0 && a mod g = 0 && b mod g = 0)
+
+let test_ceil_div () =
+  Alcotest.(check int) "exact" 3 (Num_util.ceil_div 12 4);
+  Alcotest.(check int) "round up" 4 (Num_util.ceil_div 13 4);
+  Alcotest.(check int) "zero" 0 (Num_util.ceil_div 0 4)
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Num_util.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Num_util.geomean []);
+  Alcotest.(check (float 1e-9)) "ignores nonpositive" 3.0
+    (Num_util.geomean [ 3.0; 0.0; -5.0 ])
+
+let test_pct_speedup () =
+  Alcotest.(check (float 1e-9)) "pct" 50.0 (Num_util.pct_change ~baseline:2.0 ~value:3.0);
+  Alcotest.(check (float 1e-9)) "speedup" 4.0 (Num_util.speedup ~baseline:8.0 ~value:2.0)
+
+let () =
+  Alcotest.run "svagc_util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+          Alcotest.test_case "pop" `Quick test_vec_pop;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "iterators" `Quick test_vec_iterators;
+          Alcotest.test_case "clear/reuse" `Quick test_vec_clear_reuse;
+          prop_vec_roundtrip;
+          prop_vec_sort;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          prop_rng_int_bounds;
+          prop_rng_int_in;
+          prop_rng_float_unit;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "fixed" `Quick test_dist_fixed;
+          Alcotest.test_case "choice members" `Quick test_dist_choice_members;
+          Alcotest.test_case "choice mean" `Quick test_dist_choice_mean;
+          Alcotest.test_case "choice weights" `Quick test_dist_choice_weights_respected;
+          Alcotest.test_case "zipf skew" `Quick test_dist_zipf_skew;
+          prop_dist_uniform_range;
+          prop_dist_lognormal_clamped;
+          prop_dist_zipf_range;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_histogram_basic;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          prop_histogram_mean_bounds;
+        ] );
+      ( "num_util",
+        [
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "pct/speedup" `Quick test_pct_speedup;
+          prop_gcd_divides;
+        ] );
+    ]

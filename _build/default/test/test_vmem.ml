@@ -1,0 +1,477 @@
+(* Tests for the virtual-memory substrate: addresses, PTEs, physical
+   memory, page tables, TLB, cache model, cost model, machine, address
+   spaces. *)
+
+open Svagc_vmem
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* --- Addr --- *)
+
+let test_addr_constants () =
+  Alcotest.(check int) "page size" 4096 Addr.page_size;
+  Alcotest.(check int) "entries" 512 Addr.entries_per_table;
+  Alcotest.(check int) "pages per pmd" 512 Addr.pages_per_pmd
+
+let test_addr_align () =
+  Alcotest.(check int) "align_up exact" 4096 (Addr.align_up 4096);
+  Alcotest.(check int) "align_up" 8192 (Addr.align_up 4097);
+  Alcotest.(check int) "align_down" 4096 (Addr.align_down 8191);
+  Alcotest.(check bool) "aligned" true (Addr.is_page_aligned 8192);
+  Alcotest.(check bool) "unaligned" false (Addr.is_page_aligned 8193)
+
+let test_addr_pages_spanned () =
+  Alcotest.(check int) "one byte" 1 (Addr.pages_spanned 1);
+  Alcotest.(check int) "one page" 1 (Addr.pages_spanned 4096);
+  Alcotest.(check int) "just over" 2 (Addr.pages_spanned 4097);
+  Alcotest.(check int) "zero" 0 (Addr.pages_spanned 0)
+
+let test_addr_indices () =
+  (* A known decomposition: vpn = pte + 512*pmd + 512^2*pud + ... *)
+  let va = Addr.of_page ((3 * 512 * 512) + (5 * 512) + 7) in
+  Alcotest.(check int) "pte" 7 (Addr.pte_index va);
+  Alcotest.(check int) "pmd" 5 (Addr.pmd_index va);
+  Alcotest.(check int) "pud" 3 (Addr.pud_index va);
+  Alcotest.(check int) "p4d" 0 (Addr.p4d_index va)
+
+let prop_addr_roundtrip =
+  qtest "addr: of_page/page_number roundtrip"
+    QCheck.(int_range 0 (1 lsl 35))
+    (fun vpn -> Addr.page_number (Addr.of_page vpn) = vpn)
+
+let prop_addr_align_up_invariants =
+  qtest "addr: align_up is aligned and minimal"
+    QCheck.(int_range 0 (1 lsl 40))
+    (fun va ->
+      let a = Addr.align_up va in
+      Addr.is_page_aligned a && a >= va && a - va < Addr.page_size)
+
+(* --- Pte --- *)
+
+let test_pte () =
+  Alcotest.(check bool) "none absent" false (Pte.is_present Pte.none);
+  let v = Pte.make ~frame:42 in
+  Alcotest.(check bool) "present" true (Pte.is_present v);
+  Alcotest.(check int) "frame" 42 (Pte.frame_exn v);
+  Alcotest.check_raises "frame of none"
+    (Invalid_argument "Pte.frame_exn: entry not present") (fun () ->
+      ignore (Pte.frame_exn Pte.none))
+
+(* --- Phys_mem --- *)
+
+let test_phys_alloc_free () =
+  let pm = Phys_mem.create ~frames:4 in
+  let f1 = Phys_mem.alloc_frame pm in
+  let f2 = Phys_mem.alloc_frame pm in
+  Alcotest.(check bool) "distinct" true (f1 <> f2);
+  Alcotest.(check int) "in use" 2 (Phys_mem.frames_in_use pm);
+  Phys_mem.free_frame pm f1;
+  Alcotest.(check int) "freed" 1 (Phys_mem.frames_in_use pm);
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Phys_mem.free_frame: frame not in use") (fun () ->
+      Phys_mem.free_frame pm f1)
+
+let test_phys_out_of_frames () =
+  let pm = Phys_mem.create ~frames:2 in
+  ignore (Phys_mem.alloc_frame pm);
+  ignore (Phys_mem.alloc_frame pm);
+  Alcotest.check_raises "exhausted" Phys_mem.Out_of_frames (fun () ->
+      ignore (Phys_mem.alloc_frame pm))
+
+let test_phys_read_write () =
+  let pm = Phys_mem.create ~frames:2 in
+  let f = Phys_mem.alloc_frame pm in
+  Phys_mem.write pm ~frame:f ~off:100 ~src:(Bytes.of_string "hello") ~src_off:0
+    ~len:5;
+  Alcotest.(check string) "readback" "hello"
+    (Bytes.to_string (Phys_mem.read pm ~frame:f ~off:100 ~len:5));
+  Alcotest.(check string) "zero fill" "\000"
+    (Bytes.to_string (Phys_mem.read pm ~frame:f ~off:0 ~len:1))
+
+let test_phys_blit () =
+  let pm = Phys_mem.create ~frames:2 in
+  let a = Phys_mem.alloc_frame pm and b = Phys_mem.alloc_frame pm in
+  Phys_mem.write pm ~frame:a ~off:0 ~src:(Bytes.of_string "xyz") ~src_off:0 ~len:3;
+  Phys_mem.blit pm ~src_frame:a ~src_off:0 ~dst_frame:b ~dst_off:10 ~len:3;
+  Alcotest.(check string) "blitted" "xyz"
+    (Bytes.to_string (Phys_mem.read pm ~frame:b ~off:10 ~len:3))
+
+let test_phys_range_check () =
+  let pm = Phys_mem.create ~frames:1 in
+  let f = Phys_mem.alloc_frame pm in
+  Alcotest.check_raises "escape" (Invalid_argument "Phys_mem: range escapes the page")
+    (fun () -> ignore (Phys_mem.read pm ~frame:f ~off:4090 ~len:10))
+
+(* --- Page_table --- *)
+
+let test_pt_get_set () =
+  let pt = Page_table.create () in
+  let va = Addr.of_page 123456 in
+  Alcotest.(check bool) "unmapped" false (Pte.is_present (Page_table.get_pte pt va));
+  Page_table.set_pte pt va (Pte.make ~frame:9);
+  Alcotest.(check int) "mapped" 9 (Pte.frame_exn (Page_table.get_pte pt va));
+  Alcotest.(check (option (pair int int))) "translate" (Some (9, 17))
+    (Page_table.translate pt (va + 17))
+
+let test_pt_leaf_sharing () =
+  let pt = Page_table.create () in
+  let va = Addr.of_page 1000 in
+  Page_table.set_pte pt va (Pte.make ~frame:1);
+  Page_table.set_pte pt (va + Addr.page_size) (Pte.make ~frame:2);
+  match Page_table.find_leaf pt va with
+  | None -> Alcotest.fail "leaf missing"
+  | Some leaf ->
+    (* Both pages are in the same PMD region, hence the same leaf array. *)
+    Alcotest.(check int) "slot 1" 1 (Pte.frame_exn leaf.(Addr.pte_index va));
+    Alcotest.(check int) "slot 2" 2
+      (Pte.frame_exn leaf.(Addr.pte_index (va + Addr.page_size)))
+
+let test_pt_iter_mapped () =
+  let pt = Page_table.create () in
+  let vpns = [ 5; 700; 1 lsl 20; (1 lsl 27) + 3 ] in
+  List.iteri (fun i vpn -> Page_table.set_pte pt (Addr.of_page vpn) (Pte.make ~frame:i)) vpns;
+  Alcotest.(check int) "mapped count" 4 (Page_table.mapped_pages pt);
+  let seen = ref [] in
+  Page_table.iter_mapped pt ~f:(fun ~vpn ~frame:_ -> seen := vpn :: !seen);
+  Alcotest.(check (list int)) "vpns recovered" (List.sort compare vpns)
+    (List.sort compare !seen)
+
+let prop_pt_model =
+  qtest ~count:60 "page table agrees with a hashtable model"
+    QCheck.(list (pair (int_range 0 5000) (int_range 0 100)))
+    (fun ops ->
+      let pt = Page_table.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (vpn, frame) ->
+          let va = Addr.of_page vpn in
+          if frame = 0 then begin
+            Page_table.set_pte pt va Pte.none;
+            Hashtbl.remove model vpn
+          end
+          else begin
+            Page_table.set_pte pt va (Pte.make ~frame);
+            Hashtbl.replace model vpn frame
+          end)
+        ops;
+      Hashtbl.fold
+        (fun vpn frame acc ->
+          acc && Page_table.get_pte pt (Addr.of_page vpn) = Pte.make ~frame)
+        model true
+      && Page_table.mapped_pages pt = Hashtbl.length model)
+
+(* --- Tlb --- *)
+
+let test_tlb_hit_miss () =
+  let tlb = Tlb.create () in
+  Alcotest.(check (option int)) "cold miss" None (Tlb.lookup tlb ~asid:1 ~vpn:10);
+  Tlb.insert tlb ~asid:1 ~vpn:10 ~frame:99;
+  Alcotest.(check (option int)) "hit" (Some 99) (Tlb.lookup tlb ~asid:1 ~vpn:10);
+  Alcotest.(check (option int)) "other asid misses" None
+    (Tlb.lookup tlb ~asid:2 ~vpn:10);
+  let st = Tlb.stats tlb in
+  Alcotest.(check int) "hits" 1 st.Tlb.hits;
+  Alcotest.(check int) "misses" 2 st.Tlb.misses
+
+let test_tlb_flush_asid () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpn:1 ~frame:1;
+  Tlb.insert tlb ~asid:2 ~vpn:2 ~frame:2;
+  Tlb.flush_asid tlb ~asid:1;
+  Alcotest.(check (option int)) "asid 1 gone" None (Tlb.lookup tlb ~asid:1 ~vpn:1);
+  Alcotest.(check (option int)) "asid 2 stays" (Some 2) (Tlb.lookup tlb ~asid:2 ~vpn:2)
+
+let test_tlb_flush_page () =
+  let tlb = Tlb.create () in
+  Tlb.insert tlb ~asid:1 ~vpn:1 ~frame:1;
+  Tlb.insert tlb ~asid:1 ~vpn:2 ~frame:2;
+  Tlb.flush_page tlb ~asid:1 ~vpn:1;
+  Alcotest.(check (option int)) "flushed" None (Tlb.lookup tlb ~asid:1 ~vpn:1);
+  Alcotest.(check (option int)) "kept" (Some 2) (Tlb.lookup tlb ~asid:1 ~vpn:2)
+
+let test_tlb_capacity_eviction () =
+  let tlb = Tlb.create ~entries:8 ~ways:2 () in
+  (* Fill one set (vpns congruent mod 4) beyond its 2 ways. *)
+  Tlb.insert tlb ~asid:1 ~vpn:0 ~frame:0;
+  Tlb.insert tlb ~asid:1 ~vpn:4 ~frame:4;
+  ignore (Tlb.lookup tlb ~asid:1 ~vpn:0);
+  (* vpn 4 is now LRU; inserting vpn 8 must evict it. *)
+  Tlb.insert tlb ~asid:1 ~vpn:8 ~frame:8;
+  Alcotest.(check (option int)) "lru evicted" None (Tlb.lookup tlb ~asid:1 ~vpn:4);
+  Alcotest.(check (option int)) "mru kept" (Some 0) (Tlb.lookup tlb ~asid:1 ~vpn:0)
+
+let test_tlb_occupancy () =
+  let tlb = Tlb.create ~entries:8 ~ways:2 () in
+  Alcotest.(check int) "empty" 0 (Tlb.occupied tlb);
+  Tlb.insert tlb ~asid:1 ~vpn:3 ~frame:1;
+  Alcotest.(check int) "one" 1 (Tlb.occupied tlb);
+  Tlb.flush_all tlb;
+  Alcotest.(check int) "flushed" 0 (Tlb.occupied tlb)
+
+(* --- Cache_sim --- *)
+
+let test_cache_hit_after_fill () =
+  let c = Cache_sim.create ~size_bytes:4096 ~line_bytes:64 ~ways:2 () in
+  Cache_sim.access c ~addr:0;
+  Cache_sim.access c ~addr:0;
+  let st = Cache_sim.stats c in
+  Alcotest.(check int) "accesses" 2 st.Cache_sim.accesses;
+  Alcotest.(check int) "one miss" 1 st.Cache_sim.misses
+
+let test_cache_capacity_eviction () =
+  (* 2 sets x 2 ways of 64B lines = 256 B cache; stream 3 lines into the
+     same set and re-touch the first: it must have been evicted. *)
+  let c = Cache_sim.create ~size_bytes:256 ~line_bytes:64 ~ways:2 () in
+  let set_stride = 2 * 64 in
+  Cache_sim.access c ~addr:0;
+  Cache_sim.access c ~addr:set_stride;
+  Cache_sim.access c ~addr:(2 * set_stride);
+  Cache_sim.reset_stats c;
+  Cache_sim.access c ~addr:0;
+  Alcotest.(check int) "evicted -> miss" 1 (Cache_sim.stats c).Cache_sim.misses
+
+let test_cache_access_range () =
+  let c = Cache_sim.create () in
+  Cache_sim.access_range c ~addr:0 ~len:256;
+  Alcotest.(check int) "4 lines" 4 (Cache_sim.stats c).Cache_sim.accesses;
+  Cache_sim.reset_stats c;
+  Cache_sim.access_range c ~addr:60 ~len:8;
+  Alcotest.(check int) "straddles two lines" 2 (Cache_sim.stats c).Cache_sim.accesses
+
+let test_cache_miss_rate () =
+  let c = Cache_sim.create () in
+  Alcotest.(check (float 1e-9)) "no accesses" 0.0 (Cache_sim.miss_rate c);
+  Cache_sim.access c ~addr:0;
+  Alcotest.(check (float 1e-9)) "all miss" 100.0 (Cache_sim.miss_rate c)
+
+(* --- Cost_model --- *)
+
+let test_cost_memmove_tiers () =
+  let m = Cost_model.xeon_6130 in
+  let small = Cost_model.memmove_bw m ~bytes_len:4096 in
+  let big = Cost_model.memmove_bw m ~bytes_len:(64 * 1024 * 1024) in
+  Alcotest.(check bool) "cache tier faster" true (small > big);
+  Alcotest.(check (float 1e-9)) "cache tier" m.Cost_model.cache_copy_bw small;
+  Alcotest.(check bool) "big approaches dram bw" true
+    (big < m.Cost_model.dram_copy_bw *. 1.2)
+
+let test_cost_contention () =
+  let m = Cost_model.xeon_6130 in
+  let solo = Cost_model.contended_bw m ~streams:1 ~bw:9.0 in
+  let crowded = Cost_model.contended_bw m ~streams:32 ~bw:9.0 in
+  Alcotest.(check (float 1e-9)) "solo unconstrained" 9.0 solo;
+  Alcotest.(check (float 1e-6)) "32 streams share the ceiling"
+    (m.Cost_model.machine_copy_bw /. 32.0) crowded
+
+let test_cost_presets_sane () =
+  List.iter
+    (fun (m : Cost_model.t) ->
+      Alcotest.(check bool) (m.Cost_model.name ^ " positive costs") true
+        (m.Cost_model.pt_entry_ns > 0.0 && m.Cost_model.syscall_ns > 0.0
+        && m.Cost_model.dram_copy_bw > 0.0
+        && m.Cost_model.cache_copy_bw > m.Cost_model.dram_copy_bw))
+    Cost_model.presets
+
+(* --- Clock --- *)
+
+let test_clock () =
+  let c = Clock.create () in
+  Clock.advance c 10.0;
+  Clock.advance c 5.0;
+  Alcotest.(check (float 1e-9)) "sum" 15.0 (Clock.now_ns c);
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative delta")
+    (fun () -> Clock.advance c (-1.0));
+  Clock.reset c;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Clock.now_ns c)
+
+(* --- Machine --- *)
+
+let test_machine_asids () =
+  let m = Machine.create ~phys_mib:1 Cost_model.i5_7600 in
+  let a = Machine.fresh_asid m and b = Machine.fresh_asid m in
+  Alcotest.(check bool) "distinct asids" true (a <> b)
+
+let test_machine_ipi_cost () =
+  let m = Machine.create ~ncores:8 ~phys_mib:1 Cost_model.xeon_6130 in
+  let cost = Machine.ipi_broadcast_cost m ~from_core:0 in
+  Alcotest.(check int) "7 ipis" 7 m.Machine.perf.Perf.ipis_sent;
+  Alcotest.(check bool) "cost = latency + acks" true
+    (cost
+    = m.Machine.cost.Cost_model.ipi_ns
+      +. (6.0 *. m.Machine.cost.Cost_model.ipi_ack_ns))
+
+let test_machine_single_core_ipi_free () =
+  let m = Machine.create ~ncores:1 ~phys_mib:1 Cost_model.xeon_6130 in
+  Alcotest.(check (float 1e-9)) "no remote cores" 0.0
+    (Machine.ipi_broadcast_cost m ~from_core:0)
+
+let test_machine_flush_all_cores () =
+  let m = Machine.create ~ncores:4 ~phys_mib:1 Cost_model.xeon_6130 in
+  (* Seed every core's TLB with the asid then flush everywhere. *)
+  Array.iter (fun c -> Tlb.insert c.Machine.tlb ~asid:7 ~vpn:1 ~frame:1) m.Machine.cores;
+  ignore (Machine.flush_tlb_all_cores m ~asid:7 ~from_core:0);
+  Array.iter
+    (fun c ->
+      Alcotest.(check (option int)) "invalidated" None
+        (Tlb.lookup c.Machine.tlb ~asid:7 ~vpn:1))
+    m.Machine.cores
+
+(* --- Address_space --- *)
+
+let machine () = Machine.create ~phys_mib:32 Cost_model.xeon_6130
+
+let test_as_map_rw () =
+  let aspace = Address_space.create (machine ()) in
+  let va = 1 lsl 30 in
+  Address_space.map_range aspace ~va ~pages:4;
+  Alcotest.(check int) "mapped" 4 (Address_space.mapped_pages aspace);
+  Address_space.write_bytes aspace ~va:(va + 100) ~src:(Bytes.of_string "svagc");
+  Alcotest.(check string) "readback" "svagc"
+    (Bytes.to_string (Address_space.read_bytes aspace ~va:(va + 100) ~len:5))
+
+let test_as_cross_page_io () =
+  let aspace = Address_space.create (machine ()) in
+  let va = 1 lsl 30 in
+  Address_space.map_range aspace ~va ~pages:2;
+  let data = Bytes.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let start = va + Addr.page_size - 500 in
+  Address_space.write_bytes aspace ~va:start ~src:data;
+  Alcotest.(check bytes) "cross-page roundtrip" data
+    (Address_space.read_bytes aspace ~va:start ~len:1000)
+
+let test_as_unmapped_errors () =
+  let aspace = Address_space.create (machine ()) in
+  Alcotest.(check bool) "raises on unmapped read" true
+    (try
+       ignore (Address_space.read_bytes aspace ~va:4096 ~len:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_as_double_map_rejected () =
+  let aspace = Address_space.create (machine ()) in
+  Address_space.map_range aspace ~va:8192 ~pages:1;
+  Alcotest.(check bool) "double map rejected" true
+    (try
+       Address_space.map_range aspace ~va:8192 ~pages:1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_as_unmap_frees_frames () =
+  let m = machine () in
+  let aspace = Address_space.create m in
+  Address_space.map_range aspace ~va:4096 ~pages:3;
+  let used = Phys_mem.frames_in_use m.Machine.phys in
+  Address_space.unmap_range aspace ~va:4096 ~pages:3;
+  Alcotest.(check int) "frames returned" (used - 3)
+    (Phys_mem.frames_in_use m.Machine.phys)
+
+let test_as_checksum_sensitivity () =
+  let aspace = Address_space.create (machine ()) in
+  Address_space.map_range aspace ~va:4096 ~pages:1;
+  let c0 = Address_space.checksum aspace ~va:4096 ~len:4096 in
+  Address_space.write_u8 aspace ~va:5000 1;
+  let c1 = Address_space.checksum aspace ~va:4096 ~len:4096 in
+  Alcotest.(check bool) "checksum changes" true (c0 <> c1)
+
+let test_as_i64_roundtrip () =
+  let aspace = Address_space.create (machine ()) in
+  Address_space.map_range aspace ~va:4096 ~pages:2;
+  (* Straddle the page boundary on purpose. *)
+  Address_space.write_i64 aspace ~va:8190 0x1122334455667788L;
+  Alcotest.(check int64) "i64 roundtrip" 0x1122334455667788L
+    (Address_space.read_i64 aspace ~va:8190)
+
+let test_as_touch_counts () =
+  let m = machine () in
+  let aspace = Address_space.create m in
+  Address_space.map_range aspace ~va:4096 ~pages:1;
+  Address_space.touch aspace ~core:0 ~va:4096;
+  Address_space.touch aspace ~core:0 ~va:4096;
+  let st = Tlb.stats (Machine.core m 0).Machine.tlb in
+  Alcotest.(check int) "tlb: one miss then one hit" 1 st.Tlb.misses;
+  Alcotest.(check int) "tlb hit" 1 st.Tlb.hits;
+  Alcotest.(check int) "llc accesses" 2 (Cache_sim.stats m.Machine.llc).Cache_sim.accesses
+
+let prop_as_fill_checksum_deterministic =
+  qtest ~count:40 "address space: same writes, same checksum"
+    QCheck.(int_range 1 6)
+    (fun pages ->
+      let mk () =
+        let aspace = Address_space.create (machine ()) in
+        Address_space.map_range aspace ~va:4096 ~pages;
+        Address_space.fill aspace ~va:4096 ~len:(pages * 4096) 'x';
+        Address_space.checksum aspace ~va:4096 ~len:(pages * 4096)
+      in
+      mk () = mk ())
+
+let () =
+  Alcotest.run "svagc_vmem"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "constants" `Quick test_addr_constants;
+          Alcotest.test_case "align" `Quick test_addr_align;
+          Alcotest.test_case "pages_spanned" `Quick test_addr_pages_spanned;
+          Alcotest.test_case "indices" `Quick test_addr_indices;
+          prop_addr_roundtrip;
+          prop_addr_align_up_invariants;
+        ] );
+      ("pte", [ Alcotest.test_case "encode/decode" `Quick test_pte ]);
+      ( "phys_mem",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_phys_alloc_free;
+          Alcotest.test_case "out of frames" `Quick test_phys_out_of_frames;
+          Alcotest.test_case "read/write" `Quick test_phys_read_write;
+          Alcotest.test_case "blit" `Quick test_phys_blit;
+          Alcotest.test_case "range check" `Quick test_phys_range_check;
+        ] );
+      ( "page_table",
+        [
+          Alcotest.test_case "get/set/translate" `Quick test_pt_get_set;
+          Alcotest.test_case "leaf sharing" `Quick test_pt_leaf_sharing;
+          Alcotest.test_case "iter mapped" `Quick test_pt_iter_mapped;
+          prop_pt_model;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+          Alcotest.test_case "flush asid" `Quick test_tlb_flush_asid;
+          Alcotest.test_case "flush page" `Quick test_tlb_flush_page;
+          Alcotest.test_case "LRU eviction" `Quick test_tlb_capacity_eviction;
+          Alcotest.test_case "occupancy" `Quick test_tlb_occupancy;
+        ] );
+      ( "cache_sim",
+        [
+          Alcotest.test_case "hit after fill" `Quick test_cache_hit_after_fill;
+          Alcotest.test_case "capacity eviction" `Quick test_cache_capacity_eviction;
+          Alcotest.test_case "access range" `Quick test_cache_access_range;
+          Alcotest.test_case "miss rate" `Quick test_cache_miss_rate;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "memmove tiers" `Quick test_cost_memmove_tiers;
+          Alcotest.test_case "contention" `Quick test_cost_contention;
+          Alcotest.test_case "presets sane" `Quick test_cost_presets_sane;
+        ] );
+      ("clock", [ Alcotest.test_case "advance/reset" `Quick test_clock ]);
+      ( "machine",
+        [
+          Alcotest.test_case "asids" `Quick test_machine_asids;
+          Alcotest.test_case "ipi broadcast cost" `Quick test_machine_ipi_cost;
+          Alcotest.test_case "single-core ipi free" `Quick test_machine_single_core_ipi_free;
+          Alcotest.test_case "flush all cores" `Quick test_machine_flush_all_cores;
+        ] );
+      ( "address_space",
+        [
+          Alcotest.test_case "map/read/write" `Quick test_as_map_rw;
+          Alcotest.test_case "cross-page io" `Quick test_as_cross_page_io;
+          Alcotest.test_case "unmapped errors" `Quick test_as_unmapped_errors;
+          Alcotest.test_case "double map rejected" `Quick test_as_double_map_rejected;
+          Alcotest.test_case "unmap frees frames" `Quick test_as_unmap_frees_frames;
+          Alcotest.test_case "checksum sensitivity" `Quick test_as_checksum_sensitivity;
+          Alcotest.test_case "i64 roundtrip" `Quick test_as_i64_roundtrip;
+          Alcotest.test_case "touch counts" `Quick test_as_touch_counts;
+          prop_as_fill_checksum_deterministic;
+        ] );
+    ]
