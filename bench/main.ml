@@ -107,6 +107,34 @@ let micro_tests =
               (Swapva.swap proc ~opts:Swapva.default_opts ~src:base
                  ~dst:(base + (4 * Addr.page_size))
                  ~pages:16)));
+    (* Tracing overhead: the same SVAGC cycle with no tracer installed
+       (every instrumentation site takes its no-op branch) vs. recording
+       into a ring.  The disabled run must sit within noise of
+       fig11-16:svagc-cycle above. *)
+    Test.make ~name:"trace:gc-cycle-disabled"
+      (Staged.stage
+         (let cycle =
+            gc_cycle (Svagc_core.Svagc.collector ~config:Svagc_core.Config.default)
+          in
+          fun () ->
+            assert (not (Svagc_trace.Tracer.tracing ()));
+            cycle ()));
+    Test.make ~name:"trace:gc-cycle-recording"
+      (Staged.stage
+         (let cycle =
+            gc_cycle (Svagc_core.Svagc.collector ~config:Svagc_core.Config.default)
+          in
+          fun () ->
+            ignore (Svagc_trace.Tracer.start ~capacity:65536 ());
+            cycle ();
+            ignore (Svagc_trace.Tracer.stop ())));
+    (* The raw no-op entry point, 1000 calls per run: the cost a hot
+       kernel site pays per instrumentation hit when tracing is off. *)
+    Test.make ~name:"trace:disabled-instant-x1000"
+      (Staged.stage (fun () ->
+           for _ = 1 to 1000 do
+             Svagc_trace.Tracer.instant "noop"
+           done));
     (* Table II: registry rendering. *)
     Test.make ~name:"table2:registry-rows"
       (Staged.stage (fun () -> ignore (Svagc_workloads.Spec.table_ii_rows ())));

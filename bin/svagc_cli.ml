@@ -3,7 +3,9 @@
    `svagc list`                 enumerate experiments and workloads
    `svagc exp fig11 [--quick]`  reproduce one figure/table (or `all`)
    `svagc bench <name> ...`     run one benchmark under chosen collectors
-   `svagc threshold`            print the Fig. 10 style break-even sweep *)
+   `svagc threshold`            print the Fig. 10 style break-even sweep
+   `svagc trace ...`            run a workload/experiment with structured
+                                tracing on and write Chrome trace JSON *)
 
 open Cmdliner
 module Registry = Svagc_experiments.Registry
@@ -113,6 +115,124 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ workload_arg $ collectors $ heap_factor $ steps)
 
+let trace_cmd =
+  let doc =
+    "Run a workload (or experiment) with tracing enabled and write a Chrome \
+     trace-event JSON file (open it in Perfetto or chrome://tracing)."
+  in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload to trace (see `svagc list`; aliases like fft.small work).")
+  in
+  let exp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "e"; "exp" ] ~docv:"ID"
+          ~doc:"Trace a whole registered experiment instead of a workload.")
+  in
+  let jvms_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jvms" ] ~docv:"N"
+          ~doc:"Co-running JVM instances (one trace track each).")
+  in
+  let steps = Arg.(value & opt int 40 & info [ "steps" ] ~doc:"Mutator steps.") in
+  let heap_factor =
+    Arg.(value & opt float 1.2 & info [ "heap-factor" ] ~doc:"Heap over minimum.")
+  in
+  let collector =
+    Arg.(
+      value
+      & opt collector_conv Svagc_experiments.Exp_common.Svagc
+      & info [ "c"; "collector" ] ~docv:"COLLECTOR"
+          ~doc:"svagc | memmove | parallelgc | shenandoah.")
+  in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 65536
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Ring-buffer capacity in events (oldest dropped beyond this).")
+  in
+  let ascii =
+    Arg.(value & flag & info [ "ascii" ] ~doc:"Also print an ASCII timeline.")
+  in
+  let run workload_name exp_id jvms steps heap_factor collector out capacity ascii
+      =
+    let module Tracer = Svagc_trace.Tracer in
+    let module Machine = Svagc_vmem.Machine in
+    if capacity <= 0 then begin
+      Printf.eprintf "trace: --capacity must be positive (got %d)\n" capacity;
+      exit 1
+    end;
+    let tracer = Tracer.start ~capacity () in
+    (match (exp_id, workload_name) with
+    | Some id, _ -> (
+      match Registry.find id with
+      | Some e -> e.Registry.run ~quick:true ()
+      | None ->
+        Printf.eprintf "unknown experiment %S (see `svagc list`)\n" id;
+        exit 1)
+    | None, None ->
+      Printf.eprintf "trace: pass --workload NAME or --exp ID\n";
+      exit 1
+    | None, Some workload_name ->
+      let workload =
+        try Svagc_workloads.Spec.find workload_name
+        with Not_found ->
+          Printf.eprintf "unknown workload %S (see `svagc list`)\n" workload_name;
+          exit 1
+      in
+      let machine =
+        Svagc_experiments.Exp_common.fresh_machine Svagc_vmem.Cost_model.xeon_6130
+      in
+      Tracer.set_counter_source (fun () ->
+          Svagc_vmem.Perf.to_assoc machine.Machine.perf);
+      let collector_of = Svagc_experiments.Exp_common.collector_of collector in
+      if jvms <= 1 then
+        ignore
+          (Runner.run ~heap_factor ~steps ~machine ~collector_of workload)
+      else begin
+        let steppers = Array.make jvms (fun () -> ()) in
+        let multi =
+          Svagc_core.Multi_jvm.create machine ~instances:jvms
+            ~spawn:(fun ~index machine ->
+              let jvm =
+                Runner.make_jvm ~heap_factor ~machine ~collector_of workload
+              in
+              let rng = Svagc_util.Rng.create ~seed:(1000 + index) in
+              steppers.(index) <- workload.Workload.setup jvm rng;
+              jvm)
+        in
+        for _ = 1 to steps do
+          Array.iter (fun stepper -> stepper ()) steppers
+        done;
+        Svagc_core.Multi_jvm.release multi
+      end);
+    match Tracer.stop () with
+    | None -> ()
+    | Some t ->
+      Svagc_trace.Chrome_trace.write_file t out;
+      Printf.printf "wrote %s: %d events (%d dropped, capacity %d)\n" out
+        (List.length (Svagc_trace.Tracer.events t))
+        (Svagc_trace.Tracer.dropped t)
+        (Svagc_trace.Tracer.capacity t);
+      ignore tracer;
+      if ascii then Svagc_metrics.Timeline.print t
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ workload_arg $ exp_arg $ jvms_arg $ steps $ heap_factor
+      $ collector $ out $ capacity $ ascii)
+
 let threshold_cmd =
   let doc = "Print the SwapVA/memmove break-even sweep (Fig. 10)." in
   Cmd.v (Cmd.info "threshold" ~doc)
@@ -121,6 +241,6 @@ let threshold_cmd =
 let main =
   let doc = "SVAGC: GC with scalable virtual-address swapping (simulation)" in
   Cmd.group (Cmd.info "svagc" ~version:"1.0.0" ~doc)
-    [ list_cmd; exp_cmd; bench_cmd; threshold_cmd ]
+    [ list_cmd; exp_cmd; bench_cmd; threshold_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

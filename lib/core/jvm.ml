@@ -16,6 +16,7 @@ type t = {
   app_clock : Clock.t;
   gc_clock : Clock.t;
   mutable measure_core : int option;
+  mutable trace_pid : int;
 }
 
 let create machine ~name ~heap_bytes ?(threshold_pages = 10)
@@ -34,6 +35,7 @@ let create machine ~name ~heap_bytes ?(threshold_pages = 10)
     app_clock = Clock.create ();
     gc_clock = Clock.create ();
     measure_core = None;
+    trace_pid = 0;
   }
 
 let name t = t.name
@@ -53,8 +55,26 @@ let post_gc_app_penalty t =
   let tlb_entries = 64.0 in
   tlb_entries *. machine.Machine.cost.Cost_model.tlb_refill_ns
 
+let app_ns t = Clock.now_ns t.app_clock
+let gc_ns t = Clock.now_ns t.gc_clock
+let total_ns t = app_ns t +. gc_ns t
+
+let set_trace_pid t pid = t.trace_pid <- pid
+let trace_pid t = t.trace_pid
+
+module Tracer = Svagc_trace.Tracer
+
 let run_gc t =
   retire_tlabs t;
+  (* Each JVM is one trace process track positioned on its own wall-clock
+     (app + GC time so far); the collector's spans and the kernel instants
+     they trigger all land under this pid. *)
+  if Tracer.tracing () then begin
+    Tracer.set_context ~pid:t.trace_pid ~tid:0 ();
+    Tracer.name_process ~pid:t.trace_pid t.name;
+    Tracer.name_thread ~pid:t.trace_pid ~tid:0 "gc";
+    Tracer.set_now (total_ns t)
+  end;
   let cycle = Gc_intf.collect t.collector in
   Clock.advance t.gc_clock (Gc_stats.pause_ns cycle);
   (* Concurrent GC work (Shenandoah-style marking) steals app time. *)
@@ -102,8 +122,5 @@ let charge_app_mem t ~bytes =
   in
   Clock.advance t.app_clock (float_of_int bytes /. bw)
 
-let app_ns t = Clock.now_ns t.app_clock
-let gc_ns t = Clock.now_ns t.gc_clock
-let total_ns t = app_ns t +. gc_ns t
 let gc_count t = List.length (Gc_intf.cycles t.collector)
 let cycles t = Gc_intf.cycles t.collector

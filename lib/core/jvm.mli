@@ -41,6 +41,15 @@ val alloc : ?thread:int -> t -> size:int -> n_refs:int -> cls:int -> Obj_model.t
 val run_gc : t -> Svagc_gc.Gc_stats.cycle
 (** Force a full collection (retires all TLABs first). *)
 
+val set_trace_pid : t -> int -> unit
+(** Which trace process track this instance records GC activity under
+    (default 0; {!Multi_jvm} assigns one pid per instance).  Deliberately
+    decoupled from the simulated kernel pid, which is allocated from a
+    process-global counter and therefore not stable across runs — trace
+    determinism requires caller-chosen ids. *)
+
+val trace_pid : t -> int
+
 val set_measure_core : t -> int option -> unit
 (** Enable the measured access path (cache + TLB models) for this
     instance's workload and byte-copy GC traffic (Table III). *)

@@ -8,6 +8,8 @@ type t = {
 let create machine ~instances ~spawn =
   if instances <= 0 then invalid_arg "Multi_jvm.create: need at least one instance";
   let jvms = Array.init instances (fun index -> spawn ~index machine) in
+  (* One trace track per co-running instance (Fig. 2 / Fig. 14 views). *)
+  Array.iteri (fun index jvm -> Jvm.set_trace_pid jvm index) jvms;
   machine.Machine.copy_streams <- instances;
   { machine; jvms }
 

@@ -132,7 +132,9 @@ let promotion_demand t live =
     live;
   !top - Heap.top t.old_space
 
-let minor t ~mover =
+module Tracer = Svagc_trace.Tracer
+
+let run_minor t ~mover =
   let used_before = Heap.used_bytes t.young in
   let mark_ns = mark_young t in
   Heap.sort_objects t.young;
@@ -213,10 +215,29 @@ let minor t ~mover =
   t.minors <- stats :: t.minors;
   stats
 
+(* A minor collection is one span; promotion-overflow aborts the span
+   (the caller falls back to an old-space collection). *)
+let minor t ~mover =
+  Tracer.span_begin ~cat:"gc" "minor";
+  match run_minor t ~mover with
+  | stats ->
+    Tracer.span_end
+      ~args:
+        [
+          ("promoted_objects", Svagc_trace.Event.Int stats.promoted_objects);
+          ("promoted_bytes", Svagc_trace.Event.Int stats.promoted_bytes);
+          ("swapped_objects", Svagc_trace.Event.Int stats.swapped_objects);
+        ]
+      ~dur_ns:stats.pause_ns ();
+    stats
+  | exception e ->
+    Tracer.span_abort ();
+    raise e
+
 (* Old-space collection while the nursery is still populated: young
    objects act as extra roots into the old space, their references are
    adjusted alongside, and young objects themselves do not move. *)
-let collect_old_with_young t ~mover =
+let run_collect_old_with_young t ~mover =
   let top_before = Heap.top t.old_space in
   Vec.iter (fun o -> o.Obj_model.marked <- false) (Heap.objects t.old_space);
   let work = Vec.create () in
@@ -299,6 +320,18 @@ let collect_old_with_young t ~mover =
     bytes_copied = 0;
     bytes_remapped = 0;
   }
+
+let collect_old_with_young t ~mover =
+  Tracer.span_begin ~cat:"gc" "generational-old";
+  match run_collect_old_with_young t ~mover with
+  | cycle ->
+    Tracer.span_end
+      ~args:[ ("live_objects", Svagc_trace.Event.Int cycle.Gc_stats.live_objects) ]
+      ~dur_ns:(Gc_stats.pause_ns cycle) ();
+    cycle
+  | exception e ->
+    Tracer.span_abort ();
+    raise e
 
 (* Full collection: evacuate the nursery first when promotion fits (the
    usual "full implies young collection" policy); otherwise collect the

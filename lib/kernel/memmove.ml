@@ -32,5 +32,10 @@ let move ?measure_core ?(cold = false) aspace ~src ~dst ~len =
     | Some core ->
       Address_space.touch_range aspace ~core ~va:src ~len;
       Address_space.touch_range aspace ~core ~va:dst ~len);
-    cost_ns ~cold machine ~len
+    let ns = cost_ns ~cold machine ~len in
+    if Svagc_trace.Tracer.tracing () then
+      Svagc_trace.Tracer.instant ~cat:"kernel" ~advance_ns:ns
+        ~args:[ ("len", Svagc_trace.Event.Int len) ]
+        "memmove";
+    ns
   end

@@ -101,11 +101,32 @@ let final_flush proc ~opts =
     ~asid:(Address_space.asid (Process.aspace proc))
     ~core:(Process.current_core proc) opts.flush
 
+module Tracer = Svagc_trace.Tracer
+
+(* Record one instant per SwapVA call (not per page): the syscall is the
+   event the paper's aggregation argument counts.  The instant advances
+   the trace cursor by the call's cost so the flush/IPI events of later
+   calls spread through the enclosing compaction span. *)
+let trace_call proc ~name ~requests ~ns =
+  if Tracer.tracing () then begin
+    let pages = List.fold_left (fun acc r -> acc + r.pages) 0 requests in
+    Tracer.instant ~cat:"kernel" ~advance_ns:ns
+      ~args:
+        [
+          ("requests", Svagc_trace.Event.Int (List.length requests));
+          ("pages", Svagc_trace.Event.Int pages);
+          ("core", Svagc_trace.Event.Int (Process.current_core proc));
+        ]
+      name
+  end
+
 let swap proc ~opts ~src ~dst ~pages =
   let req = { src; dst; pages } in
   let overhead = call_overhead proc in
   let body = request_cost proc ~opts req in
-  overhead +. body +. final_flush proc ~opts
+  let total = overhead +. body +. final_flush proc ~opts in
+  trace_call proc ~name:"swapva" ~requests:[ req ] ~ns:total;
+  total
 
 let swap_aggregated proc ~opts requests =
   match requests with
@@ -115,7 +136,9 @@ let swap_aggregated proc ~opts requests =
     let body =
       List.fold_left (fun acc req -> acc +. request_cost proc ~opts req) 0.0 requests
     in
-    overhead +. body +. final_flush proc ~opts
+    let total = overhead +. body +. final_flush proc ~opts in
+    trace_call proc ~name:"swapva.aggregated" ~requests ~ns:total;
+    total
 
 let swap_separated proc ~opts requests =
   List.fold_left

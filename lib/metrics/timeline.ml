@@ -1,0 +1,132 @@
+module Event = Svagc_trace.Event
+module Tracer = Svagc_trace.Tracer
+
+let ns v = Format.asprintf "%a" Svagc_vmem.Clock.pp_ns v
+
+(* Same total order as the Chrome exporter: begin time, wider span first,
+   then recording order. *)
+let sort_events evs =
+  List.sort
+    (fun (a : Event.t) (b : Event.t) ->
+      match compare a.Event.ts b.Event.ts with
+      | 0 -> (
+        match compare (Event.dur_ns b) (Event.dur_ns a) with
+        | 0 -> compare a.Event.seq b.Event.seq
+        | c -> c)
+      | c -> c)
+    evs
+
+let group_by_pid evs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      let cur = try Hashtbl.find tbl e.Event.pid with Not_found -> [] in
+      Hashtbl.replace tbl e.Event.pid (e :: cur))
+    evs;
+  Hashtbl.fold (fun pid evs acc -> (pid, List.rev evs) :: acc) tbl []
+  |> List.sort compare
+
+let bar ~width ~t0 ~range (e : Event.t) =
+  let clamp lo hi x = max lo (min hi x) in
+  let col ts =
+    if range <= 0.0 then 0
+    else clamp 0 width (int_of_float (float_of_int width *. ((ts -. t0) /. range)))
+  in
+  let a = col e.Event.ts in
+  let b = max (a + 1) (col (Event.end_ts e)) in
+  let b = min b width in
+  String.concat ""
+    [ String.make a ' '; String.make (b - a) '='; String.make (width - b) ' ' ]
+
+(* Depth of each span via an active-ancestors sweep (spans are recorded
+   well-nested per track, so interval containment reconstructs the tree). *)
+let with_depth spans =
+  let stacks : (int * int, float list) Hashtbl.t = Hashtbl.create 8 in
+  List.map
+    (fun (e : Event.t) ->
+      let key = (e.Event.pid, e.Event.tid) in
+      let stack = try Hashtbl.find stacks key with Not_found -> [] in
+      let stack = List.filter (fun end_ts -> end_ts > e.Event.ts +. 1e-9) stack in
+      Hashtbl.replace stacks key (Event.end_ts e :: stack);
+      (List.length stack, e))
+    spans
+
+let instant_summary buf instants =
+  if instants <> [] then begin
+    let by_name = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Event.t) ->
+        let count, tids =
+          try Hashtbl.find by_name e.Event.name with Not_found -> (0, [])
+        in
+        let tids =
+          if List.mem e.Event.tid tids then tids else e.Event.tid :: tids
+        in
+        Hashtbl.replace by_name e.Event.name (count + 1, tids))
+      instants;
+    let entries =
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) by_name []
+      |> List.sort compare
+    in
+    let render_one (name, (count, tids)) =
+      match List.sort compare tids with
+      | [ _ ] | [] -> Printf.sprintf "%s x%d" name count
+      | tids ->
+        Printf.sprintf "%s x%d (tracks %d-%d)" name count (List.hd tids)
+          (List.nth tids (List.length tids - 1))
+    in
+    Buffer.add_string buf
+      ("  instants: " ^ String.concat ", " (List.map render_one entries) ^ "\n")
+  end
+
+let render ?(width = 48) ?(max_spans = 80) tracer =
+  let buf = Buffer.create 4096 in
+  let events = sort_events (Tracer.events tracer) in
+  let procs = Tracer.process_names tracer in
+  Buffer.add_string buf
+    (Printf.sprintf "timeline: %d events (%d dropped, capacity %d)\n"
+       (List.length events) (Tracer.dropped tracer) (Tracer.capacity tracer));
+  List.iter
+    (fun (pid, evs) ->
+      let name =
+        match List.assoc_opt pid procs with
+        | Some n -> Printf.sprintf "pid %d (%s)" pid n
+        | None -> Printf.sprintf "pid %d" pid
+      in
+      let spans = List.filter Event.is_span evs in
+      let instants = List.filter (fun e -> not (Event.is_span e)) evs in
+      let t0 =
+        List.fold_left (fun acc (e : Event.t) -> Float.min acc e.Event.ts)
+          infinity evs
+      in
+      let t1 =
+        List.fold_left (fun acc e -> Float.max acc (Event.end_ts e)) neg_infinity
+          evs
+      in
+      let range = t1 -. t0 in
+      Buffer.add_string buf
+        (Printf.sprintf "-- %s: %s .. %s --\n" name (ns t0) (ns t1));
+      let deep = with_depth spans in
+      let shown = ref 0 in
+      List.iter
+        (fun (depth, (e : Event.t)) ->
+          if !shown < max_spans then begin
+            incr shown;
+            let label = String.make (2 * depth) ' ' ^ e.Event.name in
+            Buffer.add_string buf
+              (Printf.sprintf "  %-24s %10s |%s|\n"
+                 (if String.length label > 24 then String.sub label 0 24 else label)
+                 (ns (Event.dur_ns e))
+                 (bar ~width ~t0 ~range e))
+          end)
+        deep;
+      if List.length deep > max_spans then
+        Buffer.add_string buf
+          (Printf.sprintf "  ... %d more spans elided\n"
+             (List.length deep - max_spans));
+      instant_summary buf instants)
+    (group_by_pid events);
+  Buffer.contents buf
+
+let print ?width ?max_spans tracer =
+  print_string (render ?width ?max_spans tracer)

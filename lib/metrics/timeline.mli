@@ -1,0 +1,14 @@
+(** ASCII timeline rendering of a recorded trace.
+
+    One section per process track (JVM), spans drawn as scaled bars with
+    nesting shown by indentation, and instant events summarized per name
+    (with the core spread for per-core IPI events).  Complements the Chrome
+    JSON exporter for quick terminal inspection. *)
+
+val render : ?width:int -> ?max_spans:int -> Svagc_trace.Tracer.t -> string
+(** [width] is the bar gutter in characters (default 48); [max_spans]
+    caps the span lines printed per process (default 80, oldest first;
+    a truncation note reports anything elided). *)
+
+val print : ?width:int -> ?max_spans:int -> Svagc_trace.Tracer.t -> unit
+(** [render] to stdout. *)

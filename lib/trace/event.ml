@@ -1,0 +1,40 @@
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type kind =
+  | Span of float
+  | Instant
+
+type t = {
+  seq : int;
+  ts : float;
+  pid : int;
+  tid : int;
+  cat : string;
+  name : string;
+  kind : kind;
+  args : (string * value) list;
+}
+
+let is_span e = match e.kind with Span _ -> true | Instant -> false
+
+let dur_ns e = match e.kind with Span d -> d | Instant -> 0.0
+
+let end_ts e = e.ts +. dur_ns e
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp ppf e =
+  let kind_s = match e.kind with Span d -> Format.asprintf "span(%g)" d | Instant -> "instant" in
+  Format.fprintf ppf "[%d] %s %s pid=%d tid=%d ts=%g%a" e.seq kind_s e.name e.pid
+    e.tid e.ts
+    (fun ppf args ->
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) args)
+    e.args

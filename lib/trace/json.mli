@@ -1,0 +1,39 @@
+(** A minimal JSON tree with a deterministic printer and a strict parser.
+
+    The repository deliberately avoids new dependencies, so the Chrome
+    trace exporter and the smoke tests share this tiny implementation.
+    Printing is canonical (no whitespace, ["%.17g"] floats, object fields
+    in insertion order), which is what makes trace files byte-comparable
+    across runs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact canonical rendering. *)
+
+val to_channel : out_channel -> t -> unit
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_list_exn : t -> t list
+(** @raise Parse_error when the value is not a [List]. *)
+
+val string_exn : t -> string
+(** @raise Parse_error when the value is not a [Str]. *)
+
+val number_exn : t -> float
+(** [Int] or [Float] as a float.
+    @raise Parse_error otherwise. *)

@@ -1,0 +1,47 @@
+type 'a t = {
+  buf : 'a option array;
+  cap : int;
+  mutable start : int;  (* index of the oldest element *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { buf = Array.make capacity None; cap = capacity; start = 0; len = 0; dropped = 0 }
+
+let capacity t = t.cap
+
+let length t = t.len
+
+let dropped t = t.dropped
+
+let push t x =
+  if t.len < t.cap then begin
+    t.buf.((t.start + t.len) mod t.cap) <- Some x;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest slot and advance the window. *)
+    t.buf.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod t.cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    match t.buf.((t.start + i) mod t.cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0

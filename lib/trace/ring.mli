@@ -1,0 +1,28 @@
+(** A bounded ring buffer that drops the *oldest* element on overflow.
+
+    The trace recorder stores completed events here so a long run keeps the
+    most recent window of activity instead of growing without bound. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+
+val dropped : 'a t -> int
+(** How many elements have been evicted since creation (or [clear]). *)
+
+val push : 'a t -> 'a -> unit
+(** Appends; evicts the oldest element when full. *)
+
+val to_list : 'a t -> 'a list
+(** Oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Empties the buffer and resets the dropped counter. *)

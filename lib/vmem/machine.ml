@@ -42,13 +42,27 @@ let effective_copy_bw t ~bytes_len =
   let bw = Cost_model.memmove_bw t.cost ~bytes_len in
   Cost_model.contended_bw t.cost ~streams:t.copy_streams ~bw
 
-let ipi_broadcast_cost t ~from_core:_ =
+module Tracer = Svagc_trace.Tracer
+
+(* One instant per interrupted core, on that core's track, so a trace
+   shows exactly which cores a shootdown touched (Eq. 2's event count). *)
+let trace_ipis t ~from_core =
+  if Tracer.tracing () then
+    for c = 0 to t.ncores - 1 do
+      if c <> from_core then
+        Tracer.instant ~cat:"kernel" ~tid:c
+          ~args:[ ("from_core", Svagc_trace.Event.Int from_core) ]
+          "ipi"
+    done
+
+let ipi_broadcast_cost t ~from_core =
   (* Sends go out in parallel: the initiator pays one delivery latency
      plus an ack-gathering cost per remote core, not a serial round trip
      per core. *)
   let remote = t.ncores - 1 in
   t.perf.ipis_sent <- t.perf.ipis_sent + remote;
   t.perf.shootdown_broadcasts <- t.perf.shootdown_broadcasts + 1;
+  trace_ipis t ~from_core;
   if remote = 0 then 0.0
   else t.cost.ipi_ns +. (float_of_int (remote - 1) *. t.cost.ipi_ack_ns)
 

@@ -38,6 +38,11 @@ val ipi_broadcast_cost : t -> from_core:int -> float
 (** Cost charged to the initiating core for IPI-ing every other online core
     (counts the IPIs in perf). *)
 
+val trace_ipis : t -> from_core:int -> unit
+(** When tracing is on, record one "ipi" instant on every remote core's
+    track.  Called by {!ipi_broadcast_cost}; the kernel's targeted-flush
+    path (which counts its IPIs itself) calls it directly. *)
+
 val flush_tlb_all_cores : t -> asid:int -> from_core:int -> float
 (** The paper's [flush_tlb_all_cores(pid)]: invalidates the process's
     entries in every core's TLB and returns the initiator-side cost

@@ -95,6 +95,26 @@ let diff ~after ~before =
     alloc_bytes = after.alloc_bytes - before.alloc_bytes;
   }
 
+let to_assoc t =
+  [
+    ("syscalls", t.syscalls);
+    ("swapva_calls", t.swapva_calls);
+    ("memmove_calls", t.memmove_calls);
+    ("ptes_swapped", t.ptes_swapped);
+    ("pt_walks", t.pt_walks);
+    ("pmd_cache_hits", t.pmd_cache_hits);
+    ("bytes_copied", t.bytes_copied);
+    ("bytes_remapped", t.bytes_remapped);
+    ("tlb_flush_local", t.tlb_flush_local);
+    ("tlb_flush_page", t.tlb_flush_page);
+    ("ipis_sent", t.ipis_sent);
+    ("shootdown_broadcasts", t.shootdown_broadcasts);
+    ("pins", t.pins);
+    ("gc_cycles", t.gc_cycles);
+    ("alloc_waste_bytes", t.alloc_waste_bytes);
+    ("alloc_bytes", t.alloc_bytes);
+  ]
+
 let pp ppf t =
   Format.fprintf ppf
     "syscalls=%d swapva=%d memmove=%d ptes_swapped=%d walks=%d pmd_hits=%d \

@@ -32,4 +32,8 @@ val copy : t -> t
 val diff : after:t -> before:t -> t
 (** Per-field subtraction. *)
 
+val to_assoc : t -> (string * int) list
+(** Every counter as [(name, value)], in declaration order.  This is the
+    counter source the trace recorder snapshots around spans. *)
+
 val pp : Format.formatter -> t -> unit

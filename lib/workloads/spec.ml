@@ -19,10 +19,35 @@ let suite =
 let all =
   suite @ [ Sor.large; Sigverify.ten_mib; Sigverify.hundred_mib; Lru_cache.workload ]
 
+(* Convenience spellings accepted by the CLI in addition to the Table II
+   names ("fft.small" is the 1/16-scale FFT input, etc.). *)
+let aliases =
+  [
+    ("fft.small", "FFT.large/16");
+    ("fft.medium", "FFT.large/8");
+    ("fft.large", "FFT.large");
+    ("sparse.small", "Sparse.large/4");
+    ("sparse.medium", "Sparse.large/2");
+    ("sparse.large", "Sparse.large");
+    ("lru", "LRUCache");
+  ]
+
 let find name =
-  match List.find_opt (fun w -> w.Workload.name = name) all with
+  let canonical =
+    match List.assoc_opt (String.lowercase_ascii name) aliases with
+    | Some c -> c
+    | None -> name
+  in
+  match List.find_opt (fun w -> w.Workload.name = canonical) all with
   | Some w -> w
-  | None -> raise Not_found
+  | None -> (
+    (* Case-insensitive fallback so "bisort" or "pr" also resolve. *)
+    let folded = String.lowercase_ascii name in
+    match
+      List.find_opt (fun w -> String.lowercase_ascii w.Workload.name = folded) all
+    with
+    | Some w -> w
+    | None -> raise Not_found)
 
 let table_ii_rows () =
   List.map

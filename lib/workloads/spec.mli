@@ -10,7 +10,9 @@ val suite : Workload.t list
     large, SOR.large x10, LU.large, CryptoAES, Sigverify, Compress, PR. *)
 
 val find : string -> Workload.t
-(** Lookup by name.  @raise Not_found. *)
+(** Lookup by Table II name, case-insensitively, or by a CLI alias
+    ("fft.small" = FFT.large/16, "lru" = LRUCache, ...).
+    @raise Not_found. *)
 
 val table_ii_rows : unit -> string list list
 (** name / suite / paper threads / paper heap / simulated heap rows. *)

@@ -1,0 +1,41 @@
+(* Smoke checker for `svagc_cli trace` output: the file must parse as
+   Chrome trace-event JSON and contain complete spans for all four LISP2
+   phases.  Exits non-zero with a message otherwise (used from the
+   runtest smoke rule in test/dune). *)
+
+module Json = Svagc_trace.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_trace: " ^ m); exit 1) fmt
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else fail "usage: check_trace FILE" in
+  let contents =
+    let ic = open_in_bin file in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  let json =
+    try Json.of_string contents
+    with Json.Parse_error msg -> fail "%s does not parse: %s" file msg
+  in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some l -> ( try Json.to_list_exn l with _ -> fail "traceEvents is not a list")
+    | None -> fail "no traceEvents field"
+  in
+  if events = [] then fail "traceEvents is empty";
+  let span_names =
+    List.filter_map
+      (fun e ->
+        match (Json.member "ph" e, Json.member "name" e) with
+        | Some (Json.Str "X"), Some (Json.Str name) -> Some name
+        | _ -> None)
+      events
+  in
+  List.iter
+    (fun phase ->
+      if not (List.mem phase span_names) then
+        fail "%s has no %S phase span" file phase)
+    [ "mark"; "forward"; "adjust"; "compact" ];
+  Printf.printf "check_trace: %s ok (%d events, %d spans)\n" file
+    (List.length events) (List.length span_names)

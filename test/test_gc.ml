@@ -234,6 +234,34 @@ let test_summarize () =
     (Float.max (Gc_stats.pause_ns c1) (Gc_stats.pause_ns c2))
     s.Gc_stats.max_pause_ns
 
+let test_summarize_zero_cycles () =
+  let s = Gc_stats.summarize [] in
+  Alcotest.(check int) "cycles" 0 s.Gc_stats.cycles;
+  Alcotest.(check (float 0.0)) "total" 0.0 s.Gc_stats.total_pause_ns;
+  Alcotest.(check (float 0.0)) "max" 0.0 s.Gc_stats.max_pause_ns;
+  (* avg over zero cycles must be a well-defined 0, not a NaN *)
+  Alcotest.(check (float 0.0)) "avg" 0.0 s.Gc_stats.avg_pause_ns;
+  Alcotest.(check int) "copied" 0 s.Gc_stats.total_bytes_copied;
+  Alcotest.(check int) "remapped" 0 s.Gc_stats.total_bytes_remapped
+
+let test_summarize_single_cycle () =
+  let heap = Helpers.heap () in
+  ignore (Helpers.populate heap);
+  let c = run_lisp2 heap in
+  let s = Gc_stats.summarize [ c ] in
+  Alcotest.(check int) "cycles" 1 s.Gc_stats.cycles;
+  let pause = Gc_stats.pause_ns c in
+  Alcotest.(check (float 1e-6)) "total = the pause" pause s.Gc_stats.total_pause_ns;
+  Alcotest.(check (float 1e-6)) "max = the pause" pause s.Gc_stats.max_pause_ns;
+  Alcotest.(check (float 1e-6)) "avg = the pause" pause s.Gc_stats.avg_pause_ns;
+  Alcotest.(check (float 1e-6)) "compact split"
+    c.Gc_stats.compact_ns s.Gc_stats.total_compact_ns;
+  Alcotest.(check (float 1e-6)) "other split"
+    (Gc_stats.non_compact_ns c) s.Gc_stats.total_other_ns;
+  Alcotest.(check int) "copied" c.Gc_stats.bytes_copied s.Gc_stats.total_bytes_copied;
+  Alcotest.(check int) "remapped"
+    c.Gc_stats.bytes_remapped s.Gc_stats.total_bytes_remapped
+
 (* --- Baselines --- *)
 
 let test_epsilon_noop () =
@@ -318,6 +346,10 @@ let () =
           Alcotest.test_case "cycle stats" `Quick test_cycle_stats_consistent;
           Alcotest.test_case "threads speed up phases" `Quick test_more_threads_faster;
           Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "summarize zero cycles" `Quick
+            test_summarize_zero_cycles;
+          Alcotest.test_case "summarize single cycle" `Quick
+            test_summarize_single_cycle;
         ] );
       ( "baselines",
         [

@@ -46,6 +46,44 @@ let test_report_pct_speedup () =
   Alcotest.(check string) "pct" "12.3%" (Report.pct 12.34);
   Alcotest.(check string) "speedup" "3.82x" (Report.speedup 3.82)
 
+(* --- Timeline --- *)
+
+module Timeline = Svagc_metrics.Timeline
+module Tracer = Svagc_trace.Tracer
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_timeline_render () =
+  ignore (Tracer.stop ());
+  let t = Tracer.start ~capacity:32 () in
+  Fun.protect
+    ~finally:(fun () -> ignore (Tracer.stop ()))
+    (fun () ->
+      Tracer.set_context ~pid:0 ~tid:0 ();
+      Tracer.name_process ~pid:0 "jvm-a";
+      Tracer.span_begin ~cat:"gc" "cycle";
+      Tracer.span_begin ~cat:"gc" "mark";
+      Tracer.span_end ~dur_ns:40.0 ();
+      Tracer.instant ~cat:"kernel" ~tid:3 "ipi";
+      Tracer.span_end ~dur_ns:100.0 ();
+      let s = Timeline.render ~width:20 t in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("mentions " ^ needle) true (contains s needle))
+        [ "pid 0"; "jvm-a"; "cycle"; "mark"; "ipi" ];
+      Alcotest.(check bool) "draws bars" true (contains s "="))
+
+let test_timeline_empty_trace () =
+  ignore (Tracer.stop ());
+  let t = Tracer.start ~capacity:4 () in
+  ignore (Tracer.stop ());
+  (* Rendering an empty trace must not raise and stays quiet. *)
+  let s = Timeline.render t in
+  Alcotest.(check bool) "no bars" false (contains s "=")
+
 let () =
   Alcotest.run "svagc_metrics"
     [
@@ -60,5 +98,10 @@ let () =
           Alcotest.test_case "ns scaling" `Quick test_report_ns;
           Alcotest.test_case "bytes scaling" `Quick test_report_bytes;
           Alcotest.test_case "pct/speedup" `Quick test_report_pct_speedup;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "render" `Quick test_timeline_render;
+          Alcotest.test_case "empty trace" `Quick test_timeline_empty_trace;
         ] );
     ]

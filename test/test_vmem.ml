@@ -405,6 +405,73 @@ let prop_as_fill_checksum_deterministic =
       in
       mk () = mk ())
 
+(* --- Perf --- *)
+
+let bump_some_counters p =
+  p.Perf.syscalls <- 3;
+  p.Perf.swapva_calls <- 2;
+  p.Perf.bytes_copied <- 4096;
+  p.Perf.ipis_sent <- 7;
+  p.Perf.alloc_bytes <- 1 lsl 20
+
+let test_perf_copy_is_snapshot () =
+  let p = Perf.create () in
+  bump_some_counters p;
+  let snap = Perf.copy p in
+  p.Perf.syscalls <- 100;
+  p.Perf.bytes_copied <- 0;
+  Alcotest.(check int) "copy unaffected by later writes" 3 snap.Perf.syscalls;
+  Alcotest.(check int) "copy keeps bytes" 4096 snap.Perf.bytes_copied;
+  Alcotest.(check bool) "copy equals original field-wise" true
+    (Perf.to_assoc snap
+    = [
+        ("syscalls", 3); ("swapva_calls", 2); ("memmove_calls", 0);
+        ("ptes_swapped", 0); ("pt_walks", 0); ("pmd_cache_hits", 0);
+        ("bytes_copied", 4096); ("bytes_remapped", 0); ("tlb_flush_local", 0);
+        ("tlb_flush_page", 0); ("ipis_sent", 7); ("shootdown_broadcasts", 0);
+        ("pins", 0); ("gc_cycles", 0); ("alloc_waste_bytes", 0);
+        ("alloc_bytes", 1 lsl 20);
+      ])
+
+let test_perf_reset () =
+  let p = Perf.create () in
+  bump_some_counters p;
+  Perf.reset p;
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) (name ^ " zeroed") 0 v)
+    (Perf.to_assoc p)
+
+let test_perf_diff_roundtrip () =
+  let p = Perf.create () in
+  bump_some_counters p;
+  let before = Perf.copy p in
+  p.Perf.syscalls <- p.Perf.syscalls + 10;
+  p.Perf.ipis_sent <- p.Perf.ipis_sent + 1;
+  let d = Perf.diff ~after:p ~before in
+  Alcotest.(check int) "syscall delta" 10 d.Perf.syscalls;
+  Alcotest.(check int) "ipi delta" 1 d.Perf.ipis_sent;
+  Alcotest.(check int) "untouched delta" 0 d.Perf.bytes_copied;
+  (* before + diff = after, field by field *)
+  List.iter2
+    (fun (name, b) ((_, d), (_, a)) ->
+      Alcotest.(check int) (name ^ " recomposes") a (b + d))
+    (Perf.to_assoc before)
+    (List.combine (Perf.to_assoc d) (Perf.to_assoc p))
+
+let test_perf_diff_self_is_zero () =
+  let p = Perf.create () in
+  bump_some_counters p;
+  let d = Perf.diff ~after:p ~before:p in
+  List.iter
+    (fun (name, v) -> Alcotest.(check int) (name ^ " self-diff") 0 v)
+    (Perf.to_assoc d)
+
+let test_perf_to_assoc_covers_all_counters () =
+  let names = List.map fst (Perf.to_assoc (Perf.create ())) in
+  Alcotest.(check int) "16 counters" 16 (List.length names);
+  Alcotest.(check int) "no duplicate names" 16
+    (List.length (List.sort_uniq compare names))
+
 let () =
   Alcotest.run "svagc_vmem"
     [
@@ -473,5 +540,14 @@ let () =
           Alcotest.test_case "i64 roundtrip" `Quick test_as_i64_roundtrip;
           Alcotest.test_case "touch counts" `Quick test_as_touch_counts;
           prop_as_fill_checksum_deterministic;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "copy is a snapshot" `Quick test_perf_copy_is_snapshot;
+          Alcotest.test_case "reset zeroes" `Quick test_perf_reset;
+          Alcotest.test_case "diff round-trip" `Quick test_perf_diff_roundtrip;
+          Alcotest.test_case "self-diff is zero" `Quick test_perf_diff_self_is_zero;
+          Alcotest.test_case "to_assoc covers counters" `Quick
+            test_perf_to_assoc_covers_all_counters;
         ] );
     ]
