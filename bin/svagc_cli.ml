@@ -62,6 +62,31 @@ let collector_conv =
   in
   Arg.conv (parse, print)
 
+let no_coalesce_arg =
+  Arg.(
+    value & flag
+    & info [ "no-coalesce" ]
+        ~doc:
+          "Disable run coalescing: adjacent compaction entries with \
+           contiguous src and dst ranges are no longer merged into one \
+           SwapVA request before aggregation.")
+
+let pmd_leaf_swap_arg =
+  Arg.(
+    value & flag
+    & info [ "pmd-leaf-swap" ]
+        ~doc:
+          "Enable whole-PMD leaf swapping: 512-page PMD-aligned sub-runs \
+           are exchanged at the page-directory level in O(1) simulated \
+           cost. Opt-in because it changes the cost model.")
+
+let svagc_config ~no_coalesce ~pmd_leaf_swap =
+  {
+    Svagc_core.Config.default with
+    Svagc_core.Config.coalesce_runs = not no_coalesce;
+    pmd_leaf_swap;
+  }
+
 let bench_cmd =
   let doc = "Run one workload under one or more collectors." in
   let workload_arg =
@@ -82,13 +107,14 @@ let bench_cmd =
     Arg.(value & opt float 1.2 & info [ "heap-factor" ] ~doc:"Heap over minimum.")
   in
   let steps = Arg.(value & opt int 60 & info [ "steps" ] ~doc:"Mutator steps.") in
-  let run workload_name collectors heap_factor steps =
+  let run workload_name collectors heap_factor steps no_coalesce pmd_leaf_swap =
     let workload =
       try Svagc_workloads.Spec.find workload_name
       with Not_found ->
         Printf.eprintf "unknown workload %S (see `svagc list`)\n" workload_name;
         exit 1
     in
+    let config = svagc_config ~no_coalesce ~pmd_leaf_swap in
     Report.section (Printf.sprintf "%s @ %.1fx min heap" workload_name heap_factor);
     List.iter
       (fun kind ->
@@ -97,7 +123,7 @@ let bench_cmd =
         in
         let r =
           Runner.run ~heap_factor ~steps ~machine
-            ~collector_of:(Svagc_experiments.Exp_common.collector_of kind)
+            ~collector_of:(Svagc_experiments.Exp_common.collector_of ~config kind)
             workload
         in
         Report.subsection (Svagc_experiments.Exp_common.collector_name kind);
@@ -113,7 +139,9 @@ let bench_cmd =
       collectors
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ workload_arg $ collectors $ heap_factor $ steps)
+    Term.(
+      const run $ workload_arg $ collectors $ heap_factor $ steps
+      $ no_coalesce_arg $ pmd_leaf_swap_arg)
 
 let trace_cmd =
   let doc =
@@ -165,8 +193,8 @@ let trace_cmd =
   let ascii =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Also print an ASCII timeline.")
   in
-  let run workload_name exp_id jvms steps heap_factor collector out capacity ascii
-      =
+  let run workload_name exp_id jvms steps heap_factor collector out capacity
+      ascii no_coalesce pmd_leaf_swap =
     let module Tracer = Svagc_trace.Tracer in
     let module Machine = Svagc_vmem.Machine in
     if capacity <= 0 then begin
@@ -196,7 +224,10 @@ let trace_cmd =
       in
       Tracer.set_counter_source (fun () ->
           Svagc_vmem.Perf.to_assoc machine.Machine.perf);
-      let collector_of = Svagc_experiments.Exp_common.collector_of collector in
+      let config = svagc_config ~no_coalesce ~pmd_leaf_swap in
+      let collector_of =
+        Svagc_experiments.Exp_common.collector_of ~config collector
+      in
       if jvms <= 1 then
         ignore
           (Runner.run ~heap_factor ~steps ~machine ~collector_of workload)
@@ -231,7 +262,8 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ workload_arg $ exp_arg $ jvms_arg $ steps $ heap_factor
-      $ collector $ out $ capacity $ ascii)
+      $ collector $ out $ capacity $ ascii $ no_coalesce_arg
+      $ pmd_leaf_swap_arg)
 
 let threshold_cmd =
   let doc = "Print the SwapVA/memmove break-even sweep (Fig. 10)." in

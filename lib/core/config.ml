@@ -5,6 +5,8 @@ type t = {
   pmd_caching : bool;
   aggregation : bool;
   aggregation_batch : int;
+  coalesce_runs : bool;
+  pmd_leaf_swap : bool;
   allow_overlap : bool;
   flush : Shootdown.policy;
   pin_compaction : bool;
@@ -17,6 +19,8 @@ let default =
     pmd_caching = true;
     aggregation = true;
     aggregation_batch = 64;
+    coalesce_runs = true;
+    pmd_leaf_swap = false;
     allow_overlap = true;
     flush = Shootdown.Local_pinned;
     pin_compaction = true;
@@ -29,6 +33,8 @@ let unoptimized =
     pmd_caching = false;
     aggregation = false;
     aggregation_batch = 1;
+    coalesce_runs = false;
+    pmd_leaf_swap = false;
     allow_overlap = false;
     flush = Shootdown.Broadcast_per_call;
     pin_compaction = false;
@@ -50,7 +56,8 @@ let validate t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "svagc{threshold=%dp pmd=%b aggr=%b(batch=%d) overlap=%b flush=%a pin=%b \
-     threads=%d}"
+    "svagc{threshold=%dp pmd=%b aggr=%b(batch=%d) coalesce=%b leaf_swap=%b \
+     overlap=%b flush=%a pin=%b threads=%d}"
     t.threshold_pages t.pmd_caching t.aggregation t.aggregation_batch
-    t.allow_overlap Shootdown.pp_policy t.flush t.pin_compaction t.gc_threads
+    t.coalesce_runs t.pmd_leaf_swap t.allow_overlap Shootdown.pp_policy t.flush
+    t.pin_compaction t.gc_threads

@@ -9,6 +9,16 @@ type t = {
   pmd_caching : bool;  (** Fig. 7/8 *)
   aggregation : bool;  (** Fig. 5/6 *)
   aggregation_batch : int;  (** max requests folded into one syscall *)
+  coalesce_runs : bool;
+      (** request-level aggregation: adjacent compaction entries whose src
+          AND dst ranges are contiguous merge into one larger SwapVA
+          request before call-level batching, saving one per-request setup
+          fee and keeping the kernel's PMD cache warm across the seam *)
+  pmd_leaf_swap : bool;
+      (** opt-in leaf-swap mode: whole PMD-aligned 512-page sub-runs are
+          exchanged at the PMD directory level in O(1) simulated cost
+          ([Cost_model.pmd_swap_ns]); changes the cost model, so it is off
+          by default and evaluated in its own ablation *)
   allow_overlap : bool;  (** Algorithm 2 for overlapping src/dst *)
   flush : Svagc_kernel.Shootdown.policy;
   pin_compaction : bool;  (** Algorithm 4 *)

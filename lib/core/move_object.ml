@@ -7,6 +7,8 @@ module Swapva = Svagc_kernel.Swapva
 module Memmove = Svagc_kernel.Memmove
 module Shootdown = Svagc_kernel.Shootdown
 module Compact = Svagc_gc.Compact
+module Perf = Svagc_vmem.Perf
+module Tracer = Svagc_trace.Tracer
 
 (* Byte-based, to agree exactly with the allocator's IfSwapAlign test: the
    paper's Algorithm 3 writes the threshold both as pages >= T (MoveObject)
@@ -20,14 +22,19 @@ let swap_opts (cfg : Config.t) =
     Swapva.pmd_caching = cfg.pmd_caching;
     flush = cfg.flush;
     allow_overlap = cfg.allow_overlap;
+    leaf_swap = cfg.pmd_leaf_swap;
   }
 
 (* Flush a pending batch of swap requests and return the per-entry cost
-   attribution (proportional to page counts, the dominant term). *)
+   attribution (proportional to page counts, the dominant term).  Each
+   batch item is one SwapVA request paired with the page count of every
+   compaction entry coalesced into it (head first), so the call's cost
+   splits back into one outcome per original entry. *)
 let flush_batch proc ~opts ~aggregated batch =
   match batch with
   | [] -> []
-  | requests ->
+  | items ->
+    let requests = List.map fst items in
     let total =
       if aggregated then Swapva.swap_aggregated proc ~opts requests
       else Swapva.swap_separated proc ~opts requests
@@ -35,10 +42,12 @@ let flush_batch proc ~opts ~aggregated batch =
     let total_pages =
       List.fold_left (fun acc r -> acc + r.Swapva.pages) 0 requests
     in
-    List.map
-      (fun r ->
-        total *. float_of_int r.Swapva.pages /. float_of_int (max 1 total_pages))
-      requests
+    List.concat_map
+      (fun (_, entry_pages) ->
+        List.map
+          (fun p -> total *. float_of_int p /. float_of_int (max 1 total_pages))
+          entry_pages)
+      items
 
 let mover ?measure_core (cfg : Config.t) =
   Config.validate cfg;
@@ -63,32 +72,70 @@ let mover ?measure_core (cfg : Config.t) =
   let move_entries heap entries =
     let proc = Heap.proc heap in
     let aspace = Process.aspace proc in
+    let perf = (Process.machine proc).Machine.perf in
     let opts = swap_opts cfg in
     let out = Svagc_util.Vec.create () in
     (* Runs of consecutive swappable moves become one aggregated call;
        order across runs and memmoves is preserved, so the sliding
-       invariant holds. *)
+       invariant holds.  With [coalesce_runs], an entry whose src AND dst
+       ranges butt against the previous pending request merges into it —
+       one larger request, one setup fee — as long as the merged ranges
+       stay disjoint (overlap would change which kernel path runs).
+       [pending] is newest-first; each item carries the reversed per-entry
+       page counts so flushing can attribute one outcome per entry. *)
     let pending = ref [] in
     let pending_count = ref 0 in
+    let pending_entries = ref 0 in
+    let coalesced = ref 0 in
     let flush_pending () =
-      let costs =
-        flush_batch proc ~opts ~aggregated:cfg.aggregation (List.rev !pending)
-      in
+      let items = List.rev_map (fun (r, ep) -> (r, List.rev ep)) !pending in
+      let costs = flush_batch proc ~opts ~aggregated:cfg.aggregation items in
       List.iter
         (fun cost_ns ->
           Svagc_util.Vec.push out { Compact.cost_ns; swapped = true })
         costs;
+      if !pending_count > 0 && Tracer.tracing () then
+        Tracer.instant ~cat:"gc"
+          ~args:
+            [
+              ("entries", Svagc_trace.Event.Int !pending_entries);
+              ("requests", Svagc_trace.Event.Int !pending_count);
+              ("coalesced", Svagc_trace.Event.Int !coalesced);
+            ]
+          "gc.swap_batch";
       pending := [];
-      pending_count := 0
+      pending_count := 0;
+      pending_entries := 0;
+      coalesced := 0
     in
     List.iter
       (fun { Compact.src; dst; len; _ } ->
         if should_swap cfg ~len then begin
           assert (Addr.is_page_aligned src && Addr.is_page_aligned dst);
           let pages = Addr.pages_spanned len in
-          pending := { Swapva.src; dst; pages } :: !pending;
-          incr pending_count;
-          if !pending_count >= cfg.aggregation_batch then flush_pending ()
+          incr pending_entries;
+          let merged =
+            match !pending with
+            | (r, ep) :: rest when cfg.coalesce_runs ->
+              let bytes = r.Swapva.pages * Addr.page_size in
+              if r.Swapva.src + bytes = src && r.Swapva.dst + bytes = dst then begin
+                let m = { r with Swapva.pages = r.Swapva.pages + pages } in
+                if Swapva.ranges_overlap m then None
+                else begin
+                  perf.Perf.runs_coalesced <- perf.Perf.runs_coalesced + 1;
+                  incr coalesced;
+                  Some ((m, pages :: ep) :: rest)
+                end
+              end
+              else None
+            | _ -> None
+          in
+          match merged with
+          | Some pending' -> pending := pending'
+          | None ->
+            pending := ({ Swapva.src; dst; pages }, [ pages ]) :: !pending;
+            incr pending_count;
+            if !pending_count >= cfg.aggregation_batch then flush_pending ()
         end
         else begin
           flush_pending ();

@@ -36,7 +36,7 @@ let crossover_pages cost =
       let mm = Memmove.move aspace ~src ~dst ~len:(pages * Addr.page_size) in
       let opts =
         { Swapva.pmd_caching = true; flush = Shootdown.Local_pinned;
-          allow_overlap = false }
+          allow_overlap = false; leaf_swap = false }
       in
       let sv = Swapva.swap proc ~opts ~src ~dst ~pages in
       if sv < mm then Some pages else find (pages + 1)
@@ -83,10 +83,10 @@ let fig9_gap cost =
     let opts =
       if optimized then
         { Swapva.pmd_caching = true; flush = Shootdown.Local_pinned;
-          allow_overlap = false }
+          allow_overlap = false; leaf_swap = false }
       else
         { Swapva.pmd_caching = true; flush = Shootdown.Broadcast_per_call;
-          allow_overlap = false }
+          allow_overlap = false; leaf_swap = false }
     in
     if optimized then
       total :=

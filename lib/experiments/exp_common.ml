@@ -14,9 +14,9 @@ let collector_name = function
   | Parallelgc -> "ParallelGC"
   | Shenandoah -> "Shenandoah"
 
-let collector_of kind heap =
+let collector_of ?(config = Svagc_core.Config.default) kind heap =
   match kind with
-  | Svagc -> Svagc_core.Svagc.collector ~config:Svagc_core.Config.default heap
+  | Svagc -> Svagc_core.Svagc.collector ~config heap
   | Lisp2_memmove -> Svagc_core.Svagc.baseline_collector ~threads:4 heap
   | Parallelgc -> Svagc_gc.Parallel_gc.collector ~threads:4 heap
   | Shenandoah -> Svagc_gc.Shenandoah.collector ~threads:4 heap

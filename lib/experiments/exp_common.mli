@@ -11,7 +11,12 @@ type collector_kind =
 val collector_name : collector_kind -> string
 
 val collector_of :
-  collector_kind -> Svagc_heap.Heap.t -> Svagc_gc.Gc_intf.t
+  ?config:Svagc_core.Config.t ->
+  collector_kind ->
+  Svagc_heap.Heap.t ->
+  Svagc_gc.Gc_intf.t
+(** [config] customizes the SVAGC collector only (default
+    [Config.default]); the other collectors ignore it. *)
 
 val fresh_machine : ?ncores:int -> ?phys_mib:int -> Svagc_vmem.Cost_model.t ->
   Svagc_vmem.Machine.t

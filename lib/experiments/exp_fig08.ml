@@ -20,7 +20,7 @@ let swap_once ~pmd_caching ~pages =
   Address_space.map_range aspace ~va:dst ~pages;
   let opts =
     { Swapva.pmd_caching; flush = Svagc_kernel.Shootdown.Local_pinned;
-      allow_overlap = false }
+      allow_overlap = false; leaf_swap = false }
   in
   Swapva.swap proc ~opts ~src ~dst ~pages
 

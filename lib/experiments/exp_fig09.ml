@@ -33,10 +33,10 @@ let storm ~cores ~objects ~pages ~optimized =
   let opts =
     if optimized then
       { Swapva.pmd_caching = true; flush = Shootdown.Local_pinned;
-        allow_overlap = false }
+        allow_overlap = false; leaf_swap = false }
     else
       { Swapva.pmd_caching = true; flush = Shootdown.Broadcast_per_call;
-        allow_overlap = false }
+        allow_overlap = false; leaf_swap = false }
   in
   for i = 0 to objects - 1 do
     let off = i * pages * Addr.page_size in

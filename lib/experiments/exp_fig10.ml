@@ -31,7 +31,7 @@ let sweep_machine cost =
         let memmove_ns = Memmove.move aspace ~src ~dst ~len in
         let opts =
           { Swapva.pmd_caching = true; flush = Svagc_kernel.Shootdown.Local_pinned;
-            allow_overlap = false }
+            allow_overlap = false; leaf_swap = false }
         in
         let swapva_ns = Swapva.swap proc ~opts ~src ~dst ~pages in
         { pages; memmove_ns; swapva_ns })

@@ -35,7 +35,7 @@ let aggregation_demo () =
   in
   let opts =
     { Swapva.pmd_caching = true; flush = Svagc_kernel.Shootdown.Local_pinned;
-      allow_overlap = false }
+      allow_overlap = false; leaf_swap = false }
   in
   let separated = Swapva.swap_separated proc ~opts reqs in
   let aggregated = Swapva.swap_aggregated proc ~opts reqs in

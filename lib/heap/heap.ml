@@ -153,9 +153,9 @@ let adopt t obj =
 let evict t obj =
   Hashtbl.remove t.by_addr obj.Obj_model.addr;
   Hashtbl.remove t.roots obj.Obj_model.id;
-  let keep = Vec.filter (fun o -> o != obj) t.objects in
-  Vec.clear t.objects;
-  Vec.iter (fun o -> Vec.push t.objects o) keep
+  (* One in-place compaction pass; an object registered twice (impossible
+     via [adopt]/[alloc]) would only lose its first slot. *)
+  ignore (Vec.remove_first (fun o -> o == obj) t.objects)
 
 let reset t =
   Vec.clear t.objects;

@@ -54,6 +54,48 @@ let get_pte t va =
   in
   (leaf, Addr.pte_index va)
 
+let cache_holds t va = t.pmd_caching && lookup_cache t (pmd_region va) <> None
+
+let charge_get_pte t va ~leaf =
+  (* Identical accounting to [get_pte] — cache probe, hit/walk cost,
+     counter bumps, cache rotation — with the radix descent elided because
+     the caller already resolved [leaf] for the whole run. *)
+  let cost = t.machine.Machine.cost in
+  let perf = t.machine.Machine.perf in
+  let region = pmd_region va in
+  match (if t.pmd_caching then lookup_cache t region else None) with
+  | Some _ ->
+    perf.Perf.pmd_cache_hits <- perf.Perf.pmd_cache_hits + 1;
+    t.cost <- t.cost +. cost.Cost_model.pt_entry_ns
+  | None ->
+    perf.Perf.pt_walks <- perf.Perf.pt_walks + 1;
+    t.cost <- t.cost +. Cost_model.walk_cost_ns cost;
+    if t.pmd_caching then remember t region leaf
+
+let charge_steady_swap_pages t ~pages ~cached =
+  (* Bulk-charge [pages] iterations of Algorithm 1's inner loop in which
+     both getPTEs are steady (cache hits, or full walks when caching is
+     off).  The additions run in the exact per-page order of the reference
+     loop — getPTE src, getPTE dst, two lock pairs, two slot reads, two
+     slot writes — so the accumulated float is bit-identical to the
+     page-at-a-time path. *)
+  let cost = t.machine.Machine.cost in
+  let pe = cost.Cost_model.pt_entry_ns in
+  let lk = cost.Cost_model.lock_pair_ns in
+  let get = if cached then pe else Cost_model.walk_cost_ns cost in
+  (* A float array cell keeps the accumulator unboxed through the loop
+     (a float ref would box on every store). *)
+  let acc = [| t.cost |] in
+  for _ = 1 to pages do
+    acc.(0) <-
+      acc.(0) +. get +. get +. lk +. lk +. pe +. pe +. pe +. pe
+  done;
+  t.cost <- acc.(0);
+  let perf = t.machine.Machine.perf in
+  if cached then
+    perf.Perf.pmd_cache_hits <- perf.Perf.pmd_cache_hits + (2 * pages)
+  else perf.Perf.pt_walks <- perf.Perf.pt_walks + (2 * pages)
+
 let read_slot t (leaf, idx) =
   t.cost <- t.cost +. t.machine.Machine.cost.Cost_model.pt_entry_ns;
   leaf.(idx)

@@ -23,6 +23,23 @@ val get_pte : t -> int -> Pte.value array * int
     charge it per Algorithm step.  @raise Invalid_argument when the page
     has no leaf table. *)
 
+val cache_holds : t -> int -> bool
+(** Would [get_pte] on this address hit the PMD cache right now?  Used by
+    the run-coalesced engine to detect the steady state in which whole
+    sub-runs can be charged in bulk. *)
+
+val charge_get_pte : t -> int -> leaf:Pte.value array -> unit
+(** Charge exactly what {!get_pte} would for this address — cache probe,
+    hit or walk cost, counters, cache rotation — given that the caller
+    already resolved the covering [leaf] (no radix descent happens). *)
+
+val charge_steady_swap_pages : t -> pages:int -> cached:bool -> unit
+(** Bulk-charge [pages] steady iterations of Algorithm 1's inner loop
+    (two getPTEs that both {hit the PMD cache | are full walks}, two lock
+    pairs, four PTE word accesses), accumulating cost in the reference
+    loop's exact float-addition order and bumping
+    [pmd_cache_hits]/[pt_walks] by [2*pages]. *)
+
 val read_slot : t -> Pte.value array * int -> Pte.value
 
 val write_slot : t -> Pte.value array * int -> Pte.value -> unit

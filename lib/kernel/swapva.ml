@@ -4,16 +4,23 @@ type opts = {
   pmd_caching : bool;
   flush : Shootdown.policy;
   allow_overlap : bool;
+  leaf_swap : bool;
 }
 
 let default_opts =
-  { pmd_caching = true; flush = Shootdown.Local_pinned; allow_overlap = true }
+  {
+    pmd_caching = true;
+    flush = Shootdown.Local_pinned;
+    allow_overlap = true;
+    leaf_swap = false;
+  }
 
 let naive_opts =
   {
     pmd_caching = false;
     flush = Shootdown.Broadcast_per_call;
     allow_overlap = false;
+    leaf_swap = false;
   }
 
 type request = {
@@ -33,9 +40,14 @@ let validate { src; dst; pages } =
     invalid_arg "Swapva: addresses must be page-aligned";
   if src = dst then invalid_arg "Swapva: ranges are identical"
 
-(* The body of Algorithm 1 for one request: disjoint ranges, page-by-page
-   PTE exchange.  Returns the PTE-work cost (no syscall/flush). *)
-let swap_disjoint_body proc ~pmd_caching req =
+let unmapped () = invalid_arg "Swapva: range contains an unmapped page"
+
+(* The body of Algorithm 1 for one request, page by page.  Kept as the
+   executable reference for the run-coalesced engine below: property tests
+   assert that both produce identical heap contents, perf-counter deltas
+   and bit-identical simulated cost.  Returns the PTE-work cost (no
+   syscall/flush). *)
+let swap_disjoint_per_page proc ~pmd_caching req =
   let machine = Process.machine proc in
   let aspace = Process.aspace proc in
   let pt = Address_space.page_table aspace in
@@ -46,7 +58,7 @@ let swap_disjoint_body proc ~pmd_caching req =
     if
       (not (Pte.is_present (Page_table.get_pte pt (req.src + off))))
       || not (Pte.is_present (Page_table.get_pte pt (req.dst + off)))
-    then invalid_arg "Swapva: range contains an unmapped page"
+    then unmapped ()
   done;
   let walker = Pte_walker.create machine pt ~pmd_caching in
   for i = 0 to req.pages - 1 do
@@ -64,6 +76,131 @@ let swap_disjoint_body proc ~pmd_caching req =
   perf.Perf.bytes_remapped <-
     perf.Perf.bytes_remapped + (req.pages * Addr.page_size);
   Pte_walker.cost_ns walker
+
+(* Resolve [pages] pages starting at [va] into (leaf, start, len) slices —
+   one directory probe per PMD leaf instead of one per page — verifying
+   along the way that every PTE is present.  Raising here precedes all
+   mutation, so a bad range can never leave a half-swapped window behind
+   (same guarantee, and same error, as the per-page precheck above).
+   Resolution and presence checking model the vma walk whose cost is the
+   caller's swap_setup_ns, so no walker cost is charged. *)
+let resolve_present_runs pt ~va ~pages =
+  let runs = ref [] and n_runs = ref 0 in
+  let absent = Pte.none in
+  let cursor = ref va and remaining = ref pages in
+  while !remaining > 0 do
+    match Page_table.find_leaf_run pt !cursor ~max_pages:!remaining with
+    | None -> unmapped ()
+    | Some (leaf, start, len) ->
+      (* [find_leaf_run] guarantees [start + len <= Array.length leaf];
+         this scan visits every page of every swap, so skip the per-read
+         bounds check and compare against the hoisted absent value rather
+         than calling [Pte.is_present] per page. *)
+      let stop = start + len in
+      let i = ref start in
+      while !i < stop && Array.unsafe_get leaf !i <> absent do
+        incr i
+      done;
+      if !i < stop then unmapped ();
+      runs := (leaf, start, len) :: !runs;
+      incr n_runs;
+      cursor := !cursor + (len * Addr.page_size);
+      remaining := !remaining - len
+  done;
+  (Array.of_list (List.rev !runs), !n_runs)
+
+(* Run-coalesced body of Algorithm 1: same observable behaviour and
+   simulated cost as [swap_disjoint_per_page], paid for with one directory
+   walk per 512-page leaf instead of two walks + two cache probes per page.
+   PTE slices are exchanged with tight array loops; the per-page cost-model
+   charges are emulated exactly (head pages one at a time until both
+   streams sit in the PMD cache, then whole sub-runs in bulk).
+
+   With [leaf_swap] (the opt-in pmd_leaf_swap mode) sub-runs that cover a
+   whole PMD-aligned 512-page leaf on both sides are exchanged at the PMD
+   directory level in O(1) simulated cost — this mode deliberately changes
+   the cost model and is excluded from the equivalence guarantee. *)
+let swap_disjoint_runs proc ~pmd_caching ~leaf_swap req =
+  let machine = Process.machine proc in
+  let aspace = Process.aspace proc in
+  let pt = Address_space.page_table aspace in
+  let perf = machine.Machine.perf in
+  let cost = machine.Machine.cost in
+  let ps = Addr.page_size in
+  let src_runs, n_src = resolve_present_runs pt ~va:req.src ~pages:req.pages in
+  let dst_runs, n_dst = resolve_present_runs pt ~va:req.dst ~pages:req.pages in
+  perf.Perf.leaf_runs <- perf.Perf.leaf_runs + n_src + n_dst;
+  let walker = Pte_walker.create machine pt ~pmd_caching in
+  let si = ref 0 and soff = ref 0 in
+  let di = ref 0 and doff = ref 0 in
+  let done_pages = ref 0 in
+  while !done_pages < req.pages do
+    let ls, ss, ns = src_runs.(!si) in
+    let ld, ds, nd = dst_runs.(!di) in
+    let avail = min (ns - !soff) (nd - !doff) in
+    let src_va = req.src + (!done_pages * ps) in
+    let dst_va = req.dst + (!done_pages * ps) in
+    if
+      leaf_swap && avail = Addr.pages_per_pmd && ss = 0 && ds = 0 && !soff = 0
+      && !doff = 0
+    then begin
+      (* Whole-leaf fast path: exchange the two PMD directory entries. *)
+      Page_table.swap_pmd_entries pt src_va dst_va;
+      Pte_walker.add_cost walker cost.Cost_model.pmd_swap_ns;
+      perf.Perf.pmd_leaf_swaps <- perf.Perf.pmd_leaf_swaps + 1;
+      perf.Perf.ptes_swapped <- perf.Perf.ptes_swapped + 2
+    end
+    else begin
+      (* Head pages: emulate the reference loop page-at-a-time until both
+         streams are sure PMD-cache hits (at most a couple of pages). *)
+      let k = ref 0 in
+      if pmd_caching then
+        while
+          !k < avail
+          && not
+               (Pte_walker.cache_holds walker (src_va + (!k * ps))
+               && Pte_walker.cache_holds walker (dst_va + (!k * ps)))
+        do
+          Pte_walker.charge_get_pte walker (src_va + (!k * ps)) ~leaf:ls;
+          Pte_walker.charge_get_pte walker (dst_va + (!k * ps)) ~leaf:ld;
+          Pte_walker.charge_lock_pair walker;
+          Pte_walker.charge_lock_pair walker;
+          let slot1 = (ls, ss + !soff + !k) in
+          let slot2 = (ld, ds + !doff + !k) in
+          let pte1 = Pte_walker.read_slot walker slot1 in
+          let pte2 = Pte_walker.read_slot walker slot2 in
+          Pte_walker.write_slot walker slot1 pte2;
+          Pte_walker.write_slot walker slot2 pte1;
+          incr k
+        done;
+      (* Steady remainder of the sub-run: slice exchange + bulk charge. *)
+      let bulk = avail - !k in
+      if bulk > 0 then begin
+        Pte_walker.charge_steady_swap_pages walker ~pages:bulk
+          ~cached:pmd_caching;
+        Page_table.swap_pte_runs ls ~start_a:(ss + !soff + !k) ld
+          ~start_b:(ds + !doff + !k) ~len:bulk
+      end;
+      perf.Perf.ptes_swapped <- perf.Perf.ptes_swapped + (2 * avail)
+    end;
+    done_pages := !done_pages + avail;
+    soff := !soff + avail;
+    if !soff = ns then begin
+      incr si;
+      soff := 0
+    end;
+    doff := !doff + avail;
+    if !doff = nd then begin
+      incr di;
+      doff := 0
+    end
+  done;
+  perf.Perf.bytes_remapped <-
+    perf.Perf.bytes_remapped + (req.pages * Addr.page_size);
+  Pte_walker.cost_ns walker
+
+let swap_disjoint_run ?(leaf_swap = false) proc ~pmd_caching req =
+  swap_disjoint_runs proc ~pmd_caching ~leaf_swap req
 
 (* One request inside an (aggregated or single) call: setup + body.
    Overlapping requests take the Algorithm 2 path, which performs its own
@@ -86,7 +223,10 @@ let request_cost proc ~opts req =
     +. Swap_overlap.swap proc ~pmd_caching:opts.pmd_caching ~per_page_flush ~src
          ~dst ~pages:req.pages
   end
-  else setup +. swap_disjoint_body proc ~pmd_caching:opts.pmd_caching req
+  else
+    setup
+    +. swap_disjoint_runs proc ~pmd_caching:opts.pmd_caching
+         ~leaf_swap:opts.leaf_swap req
 
 let call_overhead proc =
   let machine = Process.machine proc in

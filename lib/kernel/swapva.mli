@@ -11,11 +11,18 @@ type opts = {
   pmd_caching : bool;
   flush : Shootdown.policy;
   allow_overlap : bool;  (** dispatch overlapping requests to Algorithm 2 *)
+  leaf_swap : bool;
+      (** opt-in pmd_leaf_swap mode: sub-runs covering a whole PMD-aligned
+          512-page leaf on both sides are exchanged at the PMD directory
+          level in O(1) simulated cost ([Cost_model.pmd_swap_ns]).  Unlike
+          every other option this changes the modeled cost, so it is off in
+          both presets and excluded from the per-page/run equivalence
+          guarantee. *)
 }
 
 val default_opts : opts
-(** PMD caching on, [Local_pinned] flushing, overlap allowed — the
-    configuration SVAGC runs with. *)
+(** PMD caching on, [Local_pinned] flushing, overlap allowed, no leaf
+    swapping — the configuration SVAGC runs with. *)
 
 val naive_opts : opts
 (** Everything off / broadcast flushing: the Fig. 8/9 baselines. *)
@@ -27,6 +34,24 @@ type request = {
 }
 
 val ranges_overlap : request -> bool
+
+val swap_disjoint_per_page : Process.t -> pmd_caching:bool -> request -> float
+(** The page-at-a-time reference body of Algorithm 1 (no syscall/flush):
+    full presence precheck, then per-page getPTE / lock / exchange.  Kept
+    as the executable oracle for {!swap_disjoint_run} — property tests
+    assert both produce identical heaps, perf-counter deltas and
+    bit-identical cost.  Not used by {!swap}. *)
+
+val swap_disjoint_run :
+  ?leaf_swap:bool -> Process.t -> pmd_caching:bool -> request -> float
+(** The run-coalesced body of Algorithm 1 used by {!swap} (no
+    syscall/flush): ranges resolve into (leaf, start, len) slices once per
+    PMD leaf, presence is verified in the same pass (before any mutation),
+    and PTE slices are exchanged with tight array loops while the cost
+    model is charged exactly as the reference would.  [leaf_swap]
+    (default false) additionally exchanges whole PMD-aligned 512-page
+    sub-runs at the directory level for [Cost_model.pmd_swap_ns] each —
+    outside the cost-equivalence guarantee. *)
 
 val swap : Process.t -> opts:opts -> src:int -> dst:int -> pages:int -> float
 (** One syscall swapping [pages] pages between [src] and [dst]; returns the

@@ -1,0 +1,42 @@
+(* An owner/thief work deque: the owner pushes and pops at the tail, a
+   thief takes from the head.  A head index into the backing vector makes
+   the steal O(1) — the stolen slot is simply abandoned — where shifting
+   every element down would be O(n) per steal.  Abandoned slots are
+   reclaimed wholesale whenever the deque empties, so a deque never
+   retains more slots than the high-water mark of one seeding. *)
+
+type 'a t = {
+  vec : 'a Svagc_util.Vec.t;
+  mutable head : int;
+}
+
+let create () = { vec = Svagc_util.Vec.create (); head = 0 }
+
+let length t = Svagc_util.Vec.length t.vec - t.head
+
+let is_empty t = length t = 0
+
+let reset_if_drained t =
+  if t.head = Svagc_util.Vec.length t.vec then begin
+    Svagc_util.Vec.clear t.vec;
+    t.head <- 0
+  end
+
+let push t x = Svagc_util.Vec.push t.vec x
+
+let pop_back t =
+  if is_empty t then None
+  else begin
+    let x = Svagc_util.Vec.pop t.vec in
+    reset_if_drained t;
+    x
+  end
+
+let steal_front t =
+  if is_empty t then None
+  else begin
+    let x = Svagc_util.Vec.get t.vec t.head in
+    t.head <- t.head + 1;
+    reset_if_drained t;
+    Some x
+  end

@@ -1,0 +1,23 @@
+(** Owner/thief work deque for the work-stealing scheduler.
+
+    The owner pushes and pops at the tail; a thief steals from the head in
+    O(1) (a head index advances instead of shifting the remaining
+    elements).  Abandoned head slots are reclaimed when the deque drains.
+    Not thread-safe — the scheduler is a sequential event-driven replay. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Owner: append at the tail. *)
+
+val pop_back : 'a t -> 'a option
+(** Owner: take the most recently pushed remaining element (LIFO). *)
+
+val steal_front : 'a t -> 'a option
+(** Thief: take the oldest remaining element (FIFO end), O(1). *)

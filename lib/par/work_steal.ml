@@ -7,7 +7,7 @@ type stats = {
 }
 
 type 'a worker = {
-  deque : 'a Svagc_util.Vec.t;
+  deque : 'a Deque.t;
   mutable clock : float;
   mutable live : bool;
 }
@@ -17,11 +17,11 @@ let run ~threads ~steal_ns ~barrier_ns ~cost ~execute items =
   let n = Array.length items in
   let workers =
     Array.init threads (fun _ ->
-        { deque = Svagc_util.Vec.create (); clock = 0.0; live = true })
+        { deque = Deque.create (); clock = 0.0; live = true })
   in
   (* Round-robin seeding keeps the initial split balanced without assuming
      anything about task order. *)
-  Array.iteri (fun i item -> Svagc_util.Vec.push workers.(i mod threads).deque item) items;
+  Array.iteri (fun i item -> Deque.push workers.(i mod threads).deque item) items;
   let steals = ref 0 in
   let total = ref 0.0 in
   let remaining = ref n in
@@ -41,12 +41,12 @@ let run ~threads ~steal_ns ~barrier_ns ~cost ~execute items =
     let best = ref None in
     Array.iteri
       (fun i w ->
-        let len = Svagc_util.Vec.length w.deque in
+        let len = Deque.length w.deque in
         if len > 0 then
           match !best with
           | None -> best := Some i
           | Some j ->
-            if len > Svagc_util.Vec.length workers.(j).deque then best := Some i)
+            if len > Deque.length workers.(j).deque then best := Some i)
       workers;
     !best
   in
@@ -63,7 +63,7 @@ let run ~threads ~steal_ns ~barrier_ns ~cost ~execute items =
       | None -> ()
       | Some i ->
         let w = workers.(i) in
-        (match Svagc_util.Vec.pop w.deque with
+        (match Deque.pop_back w.deque with
         | Some item ->
           run_task w item;
           loop ()
@@ -74,19 +74,15 @@ let run ~threads ~steal_ns ~barrier_ns ~cost ~execute items =
                executing their final tasks. *)
             w.live <- false;
             loop ()
-          | Some v ->
+          | Some v -> (
             (* Steal from the head (FIFO end) of the victim's deque. *)
-            let victim = workers.(v).deque in
-            let stolen = Svagc_util.Vec.get victim 0 in
-            let len = Svagc_util.Vec.length victim in
-            for k = 0 to len - 2 do
-              Svagc_util.Vec.set victim k (Svagc_util.Vec.get victim (k + 1))
-            done;
-            ignore (Svagc_util.Vec.pop victim);
-            incr steals;
-            w.clock <- w.clock +. steal_ns;
-            run_task w stolen;
-            loop ()))
+            match Deque.steal_front workers.(v).deque with
+            | None -> assert false (* richest_victim only returns non-empty *)
+            | Some stolen ->
+              incr steals;
+              w.clock <- w.clock +. steal_ns;
+              run_task w stolen;
+              loop ())))
     end
   in
   loop ();

@@ -100,6 +100,19 @@ let filter p v =
   iter (fun x -> if p x then push out x) v;
   out
 
+let remove_first p v =
+  let n = v.len in
+  let i = ref 0 in
+  while !i < n && not (p v.data.(!i)) do
+    incr i
+  done;
+  if !i = n then false
+  else begin
+    Array.blit v.data (!i + 1) v.data !i (n - !i - 1);
+    v.len <- n - 1;
+    true
+  end
+
 let sort cmp v =
   let a = to_array v in
   Array.sort cmp a;

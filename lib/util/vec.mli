@@ -52,6 +52,11 @@ val map : ('a -> 'b) -> 'a t -> 'b t
 
 val filter : ('a -> bool) -> 'a t -> 'a t
 
+val remove_first : ('a -> bool) -> 'a t -> bool
+(** [remove_first p v] removes the first element satisfying [p], shifting
+    the tail down in place (one pass, no allocation); [false] when no
+    element matches. *)
+
 val sort : ('a -> 'a -> int) -> 'a t -> unit
 (** [sort cmp v] sorts [v] in place. *)
 

@@ -6,6 +6,7 @@ type t = {
   mem_access_ns : float;
   pt_entry_ns : float;
   lock_pair_ns : float;
+  pmd_swap_ns : float;
   syscall_ns : float;
   swap_setup_ns : float;
   tlb_flush_local_ns : float;
@@ -35,6 +36,7 @@ let i5_7600 =
     mem_access_ns = 85.0;
     pt_entry_ns = 1.6;
     lock_pair_ns = 1.2;
+    pmd_swap_ns = 14.0;
     syscall_ns = 380.0;
     swap_setup_ns = 110.0;
     tlb_flush_local_ns = 140.0;
@@ -64,6 +66,7 @@ let xeon_6130 =
     mem_access_ns = 95.0;
     pt_entry_ns = 1.5;
     lock_pair_ns = 1.5;
+    pmd_swap_ns = 15.0;
     syscall_ns = 480.0;
     swap_setup_ns = 120.0;
     tlb_flush_local_ns = 160.0;
@@ -92,6 +95,7 @@ let xeon_6240 =
     ncores = 36;
     pt_entry_ns = 1.8;
     lock_pair_ns = 1.4;
+    pmd_swap_ns = 16.0;
     syscall_ns = 430.0;
     swap_setup_ns = 100.0;
     cache_copy_bw = 34.0;

@@ -16,6 +16,12 @@ type t = {
   mem_access_ns : float;  (** uncached DRAM load *)
   pt_entry_ns : float;  (** one page-table word access during a walk *)
   lock_pair_ns : float;  (** pte_offset_map_lock + pte_unmap_unlock *)
+  pmd_swap_ns : float;
+      (** leaf-swap fast path: exchanging one pair of PMD directory entries
+          (two locked 8-byte writes at the PMD level) remaps a whole
+          512-page leaf in O(1).  Only charged in the opt-in
+          [pmd_leaf_swap] mode; the default SwapVA paths never use it, so
+          default simulated costs are unaffected by its value. *)
   syscall_ns : float;  (** user/kernel crossing, round trip *)
   swap_setup_ns : float;
       (** per-request setup inside SwapVA (vma checks, argument

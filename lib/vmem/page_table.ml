@@ -64,6 +64,66 @@ let get_pte t va =
   | None -> Pte.none
   | Some ptes -> ptes.(Addr.pte_index va)
 
+let find_leaf_run t va ~max_pages =
+  if max_pages <= 0 then invalid_arg "Page_table.find_leaf_run: empty run";
+  match find_leaf t va with
+  | None -> None
+  | Some ptes ->
+    let start = Addr.pte_index va in
+    Some (ptes, start, min max_pages (Addr.entries_per_table - start))
+
+let swap_pte_runs leaf_a ~start_a leaf_b ~start_b ~len =
+  if len < 0 then invalid_arg "Page_table.swap_pte_runs: negative length";
+  if
+    start_a < 0 || start_b < 0
+    || start_a + len > Array.length leaf_a
+    || start_b + len > Array.length leaf_b
+  then invalid_arg "Page_table.swap_pte_runs: slice out of bounds";
+  if leaf_a == leaf_b && abs (start_a - start_b) < len then
+    invalid_arg "Page_table.swap_pte_runs: overlapping slices";
+  (* Allocation-free elementwise exchange.  A blit-based version either
+     allocates its temporary per call — a 512-entry array is over the
+     minor-heap allocation limit, so it lands on the major heap and paces
+     major-GC slices over whatever the simulated machine keeps live — or
+     moves 3x the memory traffic through a scratch, which loses once the
+     PTE working set outgrows the cache.  PTE values are immediates, so
+     this loop is pure int traffic (bounds already checked above). *)
+  for i = 0 to len - 1 do
+    let a = Array.unsafe_get leaf_a (start_a + i) in
+    Array.unsafe_set leaf_a (start_a + i) (Array.unsafe_get leaf_b (start_b + i));
+    Array.unsafe_set leaf_b (start_b + i) a
+  done
+
+let pmd_slot t va =
+  let i_pgd, i_p4d, i_pud, i_pmd = indices va in
+  let step slot =
+    match slot with
+    | Some (Dir entries) -> Some entries
+    | Some (Leaf _) | None -> None
+  in
+  match step t.root.(i_pgd) with
+  | None -> None
+  | Some p4d -> (
+    match step p4d.(i_p4d) with
+    | None -> None
+    | Some pud -> (
+      match step pud.(i_pud) with
+      | None -> None
+      | Some pmd -> Some (pmd, i_pmd)))
+
+let swap_pmd_entries t va_a va_b =
+  let aligned va = Addr.pte_index va = 0 && Addr.page_offset va = 0 in
+  if not (aligned va_a && aligned va_b) then
+    invalid_arg "Page_table.swap_pmd_entries: addresses must be PMD-aligned";
+  match (pmd_slot t va_a, pmd_slot t va_b) with
+  | Some (pmd_a, i_a), Some (pmd_b, i_b) -> (
+    match (pmd_a.(i_a), pmd_b.(i_b)) with
+    | (Some (Leaf _) as a), (Some (Leaf _) as b) ->
+      pmd_a.(i_a) <- b;
+      pmd_b.(i_b) <- a
+    | _ -> invalid_arg "Page_table.swap_pmd_entries: no leaf at PMD slot")
+  | _ -> invalid_arg "Page_table.swap_pmd_entries: no leaf at PMD slot"
+
 let set_pte t va v =
   let ptes = ensure_leaf t va in
   ptes.(Addr.pte_index va) <- v

@@ -20,6 +20,27 @@ val ensure_leaf : t -> int -> Pte.value array
 val get_pte : t -> int -> Pte.value
 (** [Pte.none] when unmapped. *)
 
+val find_leaf_run : t -> int -> max_pages:int -> (Pte.value array * int * int) option
+(** [find_leaf_run t va ~max_pages] resolves [va] with ONE directory walk
+    into a [(leaf, start, len)] slice: the PTE leaf covering [va], the index
+    of [va] inside it, and how many consecutive pages (at most [max_pages])
+    the slice covers before the next PMD boundary.  [None] when no leaf
+    exists.  This is the unit the run-coalesced SwapVA fast path operates
+    on: one walk per up-to-512-page run instead of one per page. *)
+
+val swap_pte_runs :
+  Pte.value array -> start_a:int -> Pte.value array -> start_b:int -> len:int ->
+  unit
+(** Exchange two equal-length PTE slices element-wise (no allocation).
+    The slices may live in the same leaf but must not overlap.
+    @raise Invalid_argument on out-of-bounds or overlapping slices. *)
+
+val swap_pmd_entries : t -> int -> int -> unit
+(** Exchange the PMD-level directory entries (whole 512-PTE leaf tables) of
+    two PMD-aligned addresses: the O(1) leaf-swap fast path.  Both slots
+    must hold leaf tables.
+    @raise Invalid_argument when unaligned or either slot has no leaf. *)
+
 val set_pte : t -> int -> Pte.value -> unit
 (** Creates the directory path if needed. *)
 

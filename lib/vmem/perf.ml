@@ -5,6 +5,9 @@ type t = {
   mutable ptes_swapped : int;
   mutable pt_walks : int;
   mutable pmd_cache_hits : int;
+  mutable leaf_runs : int;
+  mutable runs_coalesced : int;
+  mutable pmd_leaf_swaps : int;
   mutable bytes_copied : int;
   mutable bytes_remapped : int;
   mutable tlb_flush_local : int;
@@ -25,6 +28,9 @@ let create () =
     ptes_swapped = 0;
     pt_walks = 0;
     pmd_cache_hits = 0;
+    leaf_runs = 0;
+    runs_coalesced = 0;
+    pmd_leaf_swaps = 0;
     bytes_copied = 0;
     bytes_remapped = 0;
     tlb_flush_local = 0;
@@ -44,6 +50,9 @@ let reset t =
   t.ptes_swapped <- 0;
   t.pt_walks <- 0;
   t.pmd_cache_hits <- 0;
+  t.leaf_runs <- 0;
+  t.runs_coalesced <- 0;
+  t.pmd_leaf_swaps <- 0;
   t.bytes_copied <- 0;
   t.bytes_remapped <- 0;
   t.tlb_flush_local <- 0;
@@ -63,6 +72,9 @@ let copy t =
     ptes_swapped = t.ptes_swapped;
     pt_walks = t.pt_walks;
     pmd_cache_hits = t.pmd_cache_hits;
+    leaf_runs = t.leaf_runs;
+    runs_coalesced = t.runs_coalesced;
+    pmd_leaf_swaps = t.pmd_leaf_swaps;
     bytes_copied = t.bytes_copied;
     bytes_remapped = t.bytes_remapped;
     tlb_flush_local = t.tlb_flush_local;
@@ -83,6 +95,9 @@ let diff ~after ~before =
     ptes_swapped = after.ptes_swapped - before.ptes_swapped;
     pt_walks = after.pt_walks - before.pt_walks;
     pmd_cache_hits = after.pmd_cache_hits - before.pmd_cache_hits;
+    leaf_runs = after.leaf_runs - before.leaf_runs;
+    runs_coalesced = after.runs_coalesced - before.runs_coalesced;
+    pmd_leaf_swaps = after.pmd_leaf_swaps - before.pmd_leaf_swaps;
     bytes_copied = after.bytes_copied - before.bytes_copied;
     bytes_remapped = after.bytes_remapped - before.bytes_remapped;
     tlb_flush_local = after.tlb_flush_local - before.tlb_flush_local;
@@ -103,6 +118,9 @@ let to_assoc t =
     ("ptes_swapped", t.ptes_swapped);
     ("pt_walks", t.pt_walks);
     ("pmd_cache_hits", t.pmd_cache_hits);
+    ("leaf_runs", t.leaf_runs);
+    ("runs_coalesced", t.runs_coalesced);
+    ("pmd_leaf_swaps", t.pmd_leaf_swaps);
     ("bytes_copied", t.bytes_copied);
     ("bytes_remapped", t.bytes_remapped);
     ("tlb_flush_local", t.tlb_flush_local);
@@ -118,9 +136,11 @@ let to_assoc t =
 let pp ppf t =
   Format.fprintf ppf
     "syscalls=%d swapva=%d memmove=%d ptes_swapped=%d walks=%d pmd_hits=%d \
-     copied=%dB remapped=%dB flush_local=%d flush_page=%d ipis=%d broadcasts=%d \
-     pins=%d gcs=%d waste=%dB alloc=%dB"
+     leaf_runs=%d coalesced=%d leaf_swaps=%d copied=%dB remapped=%dB \
+     flush_local=%d flush_page=%d ipis=%d broadcasts=%d pins=%d gcs=%d \
+     waste=%dB alloc=%dB"
     t.syscalls t.swapva_calls t.memmove_calls t.ptes_swapped t.pt_walks
-    t.pmd_cache_hits t.bytes_copied t.bytes_remapped t.tlb_flush_local
+    t.pmd_cache_hits t.leaf_runs t.runs_coalesced t.pmd_leaf_swaps
+    t.bytes_copied t.bytes_remapped t.tlb_flush_local
     t.tlb_flush_page t.ipis_sent t.shootdown_broadcasts t.pins t.gc_cycles
     t.alloc_waste_bytes t.alloc_bytes

@@ -10,6 +10,16 @@ type t = {
   mutable ptes_swapped : int;
   mutable pt_walks : int;  (** full 4-level getPTE walks *)
   mutable pmd_cache_hits : int;
+  mutable leaf_runs : int;
+      (** (leaf, start, len) slices processed by the run-coalesced SwapVA
+          engine: one per PMD-leaf crossing per stream, the unit the batched
+          fast path walks at *)
+  mutable runs_coalesced : int;
+      (** compaction move entries merged into a preceding contiguous
+          SwapVA request (request-level aggregation) *)
+  mutable pmd_leaf_swaps : int;
+      (** whole 512-page leaf pairs exchanged at the PMD level by the
+          opt-in [pmd_leaf_swap] mode *)
   mutable bytes_copied : int;  (** physically moved by memmove *)
   mutable bytes_remapped : int;  (** logically moved by SwapVA *)
   mutable tlb_flush_local : int;

@@ -1,5 +1,16 @@
+(* A frame in use starts [Zeroed]: logically zero-filled, but with no
+   backing [Bytes] until something actually touches its contents.  A
+   simulated machine can hold millions of frames for workloads (like PTE
+   swapping) that never read or write a single payload byte — allocating
+   gigabytes of real zeroes up front both slows machine setup and keeps a
+   huge live heap that paces the host GC during everything that follows. *)
+type frame_state =
+  | Free
+  | Zeroed
+  | Data of bytes
+
 type t = {
-  frames : bytes option array;
+  frames : frame_state array;
   free : int Svagc_util.Vec.t;
   mutable in_use : int;
 }
@@ -14,7 +25,7 @@ let create ~frames =
   for i = frames - 1 downto 0 do
     Svagc_util.Vec.push free i
   done;
-  { frames = Array.make frames None; free; in_use = 0 }
+  { frames = Array.make frames Free; free; in_use = 0 }
 
 let capacity_frames t = Array.length t.frames
 
@@ -24,15 +35,15 @@ let alloc_frame t =
   match Svagc_util.Vec.pop t.free with
   | None -> raise Out_of_frames
   | Some frame ->
-    t.frames.(frame) <- Some (Bytes.make Addr.page_size '\000');
+    t.frames.(frame) <- Zeroed;
     t.in_use <- t.in_use + 1;
     frame
 
 let free_frame t frame =
   match t.frames.(frame) with
-  | None -> invalid_arg "Phys_mem.free_frame: frame not in use"
-  | Some _ ->
-    t.frames.(frame) <- None;
+  | Free -> invalid_arg "Phys_mem.free_frame: frame not in use"
+  | Zeroed | Data _ ->
+    t.frames.(frame) <- Free;
     t.in_use <- t.in_use - 1;
     Svagc_util.Vec.push t.free frame
 
@@ -40,8 +51,12 @@ let frame_bytes t frame =
   if frame < 0 || frame >= Array.length t.frames then
     invalid_arg "Phys_mem.frame_bytes: no such frame";
   match t.frames.(frame) with
-  | None -> invalid_arg "Phys_mem.frame_bytes: frame not in use"
-  | Some b -> b
+  | Free -> invalid_arg "Phys_mem.frame_bytes: frame not in use"
+  | Zeroed ->
+    let b = Bytes.make Addr.page_size '\000' in
+    t.frames.(frame) <- Data b;
+    b
+  | Data b -> b
 
 let check_range ~off ~len =
   if off < 0 || len < 0 || off + len > Addr.page_size then

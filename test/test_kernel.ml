@@ -77,7 +77,12 @@ let test_memmove_cold_slower () =
 (* --- Swapva: disjoint (Algorithm 1) --- *)
 
 let opts_pinned =
-  { Swapva.pmd_caching = true; flush = Shootdown.Local_pinned; allow_overlap = true }
+  {
+    Swapva.pmd_caching = true;
+    flush = Shootdown.Local_pinned;
+    allow_overlap = true;
+    leaf_swap = false;
+  }
 
 let test_swap_exchanges_contents () =
   let _, proc = fresh () in
@@ -324,6 +329,166 @@ let prop_aggregated_equals_separated_state =
       in
       run true = run false)
 
+(* --- Run-coalesced engine vs per-page reference --- *)
+
+(* The run-coalesced engine must be observationally identical to the
+   page-at-a-time reference: same memory, same perf-counter deltas and
+   bit-identical simulated cost (the bulk charge replays the reference
+   loop's float additions in order).  Only [leaf_runs] differs — the run
+   engine counts the slices it resolves, the reference never does — so
+   the comparison zeroes it. *)
+let engine_outcome ~window_pages ~pmd_caching ~engine req =
+  let machine, proc = fresh () in
+  let aspace = mapped_window proc ~pages:window_pages in
+  let before = Perf.copy machine.Machine.perf in
+  let ns = engine proc ~pmd_caching req in
+  let d = Perf.diff ~after:machine.Machine.perf ~before in
+  d.Perf.leaf_runs <- 0;
+  let csum =
+    Address_space.checksum aspace ~va:base ~len:(window_pages * Addr.page_size)
+  in
+  (ns, Perf.to_assoc d, csum)
+
+let prop_run_engine_equals_per_page =
+  (* Offsets chosen so both ranges regularly straddle the 512-page PMD
+     leaf boundaries at 512 and 1024. *)
+  qtest ~count:30 "run-coalesced engine == per-page reference"
+    QCheck.(
+      quad (int_range 440 520) (int_range 960 1040) (int_range 1 150) bool)
+    (fun (src_page, dst_page, pages, pmd_caching) ->
+      QCheck.assume (src_page + pages <= dst_page);
+      let window_pages = 1200 in
+      QCheck.assume (dst_page + pages <= window_pages);
+      let req =
+        {
+          Swapva.src = base + (src_page * Addr.page_size);
+          dst = base + (dst_page * Addr.page_size);
+          pages;
+        }
+      in
+      let ref_ns, ref_perf, ref_csum =
+        engine_outcome ~window_pages ~pmd_caching
+          ~engine:Swapva.swap_disjoint_per_page req
+      in
+      let run_ns, run_perf, run_csum =
+        engine_outcome ~window_pages ~pmd_caching
+          ~engine:(fun proc ~pmd_caching req ->
+            Swapva.swap_disjoint_run proc ~pmd_caching req)
+          req
+      in
+      ref_ns = run_ns && ref_perf = run_perf && ref_csum = run_csum)
+
+let test_run_engine_unmapped_no_mutation () =
+  let machine, proc = fresh () in
+  let aspace = mapped_window proc ~pages:8 in
+  (* Punch a hole in the middle of the dst range. *)
+  Address_space.unmap_range aspace ~va:(base + (6 * Addr.page_size)) ~pages:1;
+  let src_csum () =
+    Address_space.checksum aspace ~va:base ~len:(4 * Addr.page_size)
+  in
+  let c0 = src_csum () in
+  let swapped0 = machine.Machine.perf.Perf.ptes_swapped in
+  let msg =
+    try
+      ignore
+        (Swapva.swap_disjoint_run proc ~pmd_caching:true
+           { Swapva.src = base; dst = base + (4 * Addr.page_size); pages = 4 });
+      "no exception"
+    with Invalid_argument m -> m
+  in
+  Alcotest.(check string) "exact error"
+    "Swapva: range contains an unmapped page" msg;
+  Alcotest.(check int64) "no partial mutation" c0 (src_csum ());
+  Alcotest.(check int) "no PTE exchanged" swapped0
+    machine.Machine.perf.Perf.ptes_swapped
+
+(* --- pmd_leaf_swap (opt-in whole-leaf mode) --- *)
+
+let leaf = Addr.pages_per_pmd
+
+let big_window proc ~pages =
+  let aspace = Process.aspace proc in
+  Address_space.map_range aspace ~va:base ~pages;
+  (* Filling whole pages is slow at this size: tag the first byte only. *)
+  for i = 0 to pages - 1 do
+    Address_space.write_u8 aspace ~va:(base + (i * Addr.page_size)) (i mod 251)
+  done;
+  aspace
+
+let test_leaf_swap_whole_leaf () =
+  let machine, proc = fresh ~ncores:4 () in
+  let aspace = big_window proc ~pages:(3 * leaf) in
+  let dst = base + (2 * leaf * Addr.page_size) in
+  let ns =
+    Swapva.swap_disjoint_run ~leaf_swap:true proc ~pmd_caching:true
+      { Swapva.src = base; dst; pages = leaf }
+  in
+  let perf = machine.Machine.perf in
+  Alcotest.(check int) "one leaf swap" 1 perf.Perf.pmd_leaf_swaps;
+  Alcotest.(check int) "no walks" 0 perf.Perf.pt_walks;
+  Alcotest.(check int) "no cache hits" 0 perf.Perf.pmd_cache_hits;
+  Alcotest.(check (float 1e-9)) "O(1) cost"
+    machine.Machine.cost.Cost_model.pmd_swap_ns ns;
+  Alcotest.(check int) "dst now holds old src" 0
+    (Address_space.read_u8 aspace ~va:dst);
+  Alcotest.(check int) "src now holds old dst"
+    ((2 * leaf) mod 251)
+    (Address_space.read_u8 aspace ~va:base)
+
+let test_leaf_swap_falls_back_when_unaligned () =
+  let machine, proc = fresh () in
+  let _ = big_window proc ~pages:(3 * leaf) in
+  (* Same size, but src one page off a PMD boundary: must take the normal
+     run-coalesced path with per-page costs. *)
+  let ns_unaligned =
+    Swapva.swap_disjoint_run ~leaf_swap:true proc ~pmd_caching:true
+      {
+        Swapva.src = base + Addr.page_size;
+        dst = base + ((2 * leaf + 1) * Addr.page_size);
+        pages = leaf - 1;
+      }
+  in
+  Alcotest.(check int) "no leaf swaps" 0
+    machine.Machine.perf.Perf.pmd_leaf_swaps;
+  Alcotest.(check bool) "charged per page" true
+    (ns_unaligned > machine.Machine.cost.Cost_model.pmd_swap_ns *. 10.0)
+
+let test_leaf_swap_partial_tail () =
+  (* 600 PMD-aligned pages: one whole leaf O(1)-swapped, the 88-page tail
+     per-page.  Double-swapping restores the window. *)
+  let machine, proc = fresh () in
+  let aspace = big_window proc ~pages:(4 * leaf) in
+  let csum () =
+    Address_space.checksum aspace ~va:base ~len:(4 * leaf * Addr.page_size)
+  in
+  let c0 = csum () in
+  let req =
+    { Swapva.src = base; dst = base + (2 * leaf * Addr.page_size); pages = 600 }
+  in
+  ignore (Swapva.swap_disjoint_run ~leaf_swap:true proc ~pmd_caching:true req);
+  let perf = machine.Machine.perf in
+  Alcotest.(check int) "one leaf swap" 1 perf.Perf.pmd_leaf_swaps;
+  Alcotest.(check int) "2 + 2*88 PTE exchanges" (2 + (2 * 88))
+    perf.Perf.ptes_swapped;
+  Alcotest.(check bool) "window changed" true (c0 <> csum ());
+  ignore (Swapva.swap_disjoint_run ~leaf_swap:true proc ~pmd_caching:true req);
+  Alcotest.(check int64) "double swap restores" c0 (csum ())
+
+let test_leaf_swap_ignores_overlap_path () =
+  (* With leaf_swap on, overlapping requests still dispatch to Algorithm 2
+     unchanged. *)
+  let machine, proc = fresh () in
+  let _ = mapped_window proc ~pages:12 in
+  let before = machine.Machine.perf.Perf.ptes_swapped in
+  ignore
+    (Swapva.swap proc
+       ~opts:{ opts_pinned with Swapva.leaf_swap = true }
+       ~src:(base + (2 * Addr.page_size)) ~dst:base ~pages:8);
+  Alcotest.(check int) "overlap path used" 10
+    (machine.Machine.perf.Perf.ptes_swapped - before);
+  Alcotest.(check int) "no leaf swaps" 0
+    machine.Machine.perf.Perf.pmd_leaf_swaps
+
 (* --- Shootdown --- *)
 
 let test_shootdown_cost_ordering () =
@@ -416,6 +581,22 @@ let () =
           prop_overlap_matches_rotation;
           prop_swap_sequence_preserves_content_multiset;
           prop_aggregated_equals_separated_state;
+        ] );
+      ( "run_engine",
+        [
+          prop_run_engine_equals_per_page;
+          Alcotest.test_case "unmapped: exact error, no mutation" `Quick
+            test_run_engine_unmapped_no_mutation;
+        ] );
+      ( "leaf_swap",
+        [
+          Alcotest.test_case "whole leaf O(1)" `Quick test_leaf_swap_whole_leaf;
+          Alcotest.test_case "unaligned falls back" `Quick
+            test_leaf_swap_falls_back_when_unaligned;
+          Alcotest.test_case "partial tail + involution" `Quick
+            test_leaf_swap_partial_tail;
+          Alcotest.test_case "overlap path untouched" `Quick
+            test_leaf_swap_ignores_overlap_path;
         ] );
       ( "shootdown",
         [

@@ -98,9 +98,82 @@ let prop_total_work_preserved =
       Float.abs (st.Work_steal.total_work_ns -. List.fold_left ( +. ) 0.0 costs)
       < 1e-6)
 
+(* --- Deque --- *)
+
+module Deque = Svagc_par.Deque
+
+let test_deque_owner_lifo_thief_fifo () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Deque.length d);
+  Alcotest.(check (option int)) "owner pops newest" (Some 4) (Deque.pop_back d);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1)
+    (Deque.steal_front d);
+  Alcotest.(check (option int)) "next steal" (Some 2) (Deque.steal_front d);
+  Alcotest.(check (option int)) "owner again" (Some 3) (Deque.pop_back d);
+  Alcotest.(check bool) "drained" true (Deque.is_empty d);
+  Alcotest.(check (option int)) "pop empty" None (Deque.pop_back d);
+  Alcotest.(check (option int)) "steal empty" None (Deque.steal_front d)
+
+let test_deque_reuse_after_drain () =
+  let d = Deque.create () in
+  (* Drain via steals (head index advances), then reuse: the head must
+     have been reset so new pushes are visible. *)
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "steal 1" (Some 1) (Deque.steal_front d);
+  Alcotest.(check (option int)) "steal 2" (Some 2) (Deque.steal_front d);
+  Alcotest.(check (option int)) "steal 3" (Some 3) (Deque.steal_front d);
+  Deque.push d 9;
+  Alcotest.(check int) "length after reuse" 1 (Deque.length d);
+  Alcotest.(check (option int)) "fresh element" (Some 9) (Deque.pop_back d)
+
+let prop_deque_model =
+  qtest ~count:300 "deque agrees with a list model"
+    QCheck.(list (int_range 0 2))
+    (fun ops ->
+      let d = Deque.create () in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+            incr counter;
+            Deque.push d !counter;
+            model := !model @ [ !counter ];
+            true
+          | 1 ->
+            let expected =
+              match List.rev !model with
+              | [] -> None
+              | x :: rest ->
+                model := List.rev rest;
+                Some x
+            in
+            Deque.pop_back d = expected
+          | _ ->
+            let expected =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                model := rest;
+                Some x
+            in
+            Deque.steal_front d = expected)
+        ops
+      && Deque.length d = List.length !model)
+
 let () =
   Alcotest.run "svagc_par"
     [
+      ( "deque",
+        [
+          Alcotest.test_case "owner LIFO / thief FIFO" `Quick
+            test_deque_owner_lifo_thief_fifo;
+          Alcotest.test_case "reuse after drain" `Quick
+            test_deque_reuse_after_drain;
+          prop_deque_model;
+        ] );
       ( "work_steal",
         [
           Alcotest.test_case "empty" `Quick test_empty;
