@@ -80,11 +80,40 @@ let pmd_leaf_swap_arg =
            are exchanged at the page-directory level in O(1) simulated \
            cost. Opt-in because it changes the cost model.")
 
-let svagc_config ~no_coalesce ~pmd_leaf_swap =
+let fault_spec_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "fault-spec" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic kernel fault injection, e.g. \
+           $(b,pte:p=0.01,lock:p=0.005,ipi:every=64) or \
+           $(b,pte:p=0.1:va=0x100000000-0x140000000). Sites: $(b,pte) \
+           (PTE resolution, EFAULT), $(b,lock) (mmap-lock acquisition, \
+           EAGAIN), $(b,ipi) (shootdown IPI delivery, lost + resent). \
+           Empty disables injection.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the fault-injection PRNG streams; the same spec and \
+           seed replay the same faults byte-for-byte.")
+
+let parse_fault_spec spec =
+  match Svagc_fault.Fault_spec.parse spec with
+  | Ok s -> s
+  | Error msg ->
+    Printf.eprintf "--fault-spec: %s\n" msg;
+    exit 1
+
+let svagc_config ~no_coalesce ~pmd_leaf_swap ~fault_spec ~fault_seed =
   {
     Svagc_core.Config.default with
     Svagc_core.Config.coalesce_runs = not no_coalesce;
     pmd_leaf_swap;
+    fault_spec = parse_fault_spec fault_spec;
+    fault_seed;
   }
 
 let bench_cmd =
@@ -107,14 +136,17 @@ let bench_cmd =
     Arg.(value & opt float 1.2 & info [ "heap-factor" ] ~doc:"Heap over minimum.")
   in
   let steps = Arg.(value & opt int 60 & info [ "steps" ] ~doc:"Mutator steps.") in
-  let run workload_name collectors heap_factor steps no_coalesce pmd_leaf_swap =
+  let run workload_name collectors heap_factor steps no_coalesce pmd_leaf_swap
+      fault_spec fault_seed =
     let workload =
       try Svagc_workloads.Spec.find workload_name
       with Not_found ->
         Printf.eprintf "unknown workload %S (see `svagc list`)\n" workload_name;
         exit 1
     in
-    let config = svagc_config ~no_coalesce ~pmd_leaf_swap in
+    let config =
+      svagc_config ~no_coalesce ~pmd_leaf_swap ~fault_spec ~fault_seed
+    in
     Report.section (Printf.sprintf "%s @ %.1fx min heap" workload_name heap_factor);
     List.iter
       (fun kind ->
@@ -141,7 +173,7 @@ let bench_cmd =
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const run $ workload_arg $ collectors $ heap_factor $ steps
-      $ no_coalesce_arg $ pmd_leaf_swap_arg)
+      $ no_coalesce_arg $ pmd_leaf_swap_arg $ fault_spec_arg $ fault_seed_arg)
 
 let trace_cmd =
   let doc =
@@ -194,7 +226,7 @@ let trace_cmd =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Also print an ASCII timeline.")
   in
   let run workload_name exp_id jvms steps heap_factor collector out capacity
-      ascii no_coalesce pmd_leaf_swap =
+      ascii no_coalesce pmd_leaf_swap fault_spec fault_seed =
     let module Tracer = Svagc_trace.Tracer in
     let module Machine = Svagc_vmem.Machine in
     if capacity <= 0 then begin
@@ -224,7 +256,9 @@ let trace_cmd =
       in
       Tracer.set_counter_source (fun () ->
           Svagc_vmem.Perf.to_assoc machine.Machine.perf);
-      let config = svagc_config ~no_coalesce ~pmd_leaf_swap in
+      let config =
+        svagc_config ~no_coalesce ~pmd_leaf_swap ~fault_spec ~fault_seed
+      in
       let collector_of =
         Svagc_experiments.Exp_common.collector_of ~config collector
       in
@@ -263,7 +297,7 @@ let trace_cmd =
     Term.(
       const run $ workload_arg $ exp_arg $ jvms_arg $ steps $ heap_factor
       $ collector $ out $ capacity $ ascii $ no_coalesce_arg
-      $ pmd_leaf_swap_arg)
+      $ pmd_leaf_swap_arg $ fault_spec_arg $ fault_seed_arg)
 
 let threshold_cmd =
   let doc = "Print the SwapVA/memmove break-even sweep (Fig. 10)." in

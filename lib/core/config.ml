@@ -11,6 +11,8 @@ type t = {
   flush : Shootdown.policy;
   pin_compaction : bool;
   gc_threads : int;
+  fault_spec : Svagc_fault.Fault_spec.t;
+  fault_seed : int;
 }
 
 let default =
@@ -25,6 +27,8 @@ let default =
     flush = Shootdown.Local_pinned;
     pin_compaction = true;
     gc_threads = 4;
+    fault_spec = Svagc_fault.Fault_spec.empty;
+    fault_seed = 0;
   }
 
 let unoptimized =
@@ -39,6 +43,8 @@ let unoptimized =
     flush = Shootdown.Broadcast_per_call;
     pin_compaction = false;
     gc_threads = 4;
+    fault_spec = Svagc_fault.Fault_spec.empty;
+    fault_seed = 0;
   }
 
 let validate t =
@@ -57,7 +63,11 @@ let validate t =
 let pp ppf t =
   Format.fprintf ppf
     "svagc{threshold=%dp pmd=%b aggr=%b(batch=%d) coalesce=%b leaf_swap=%b \
-     overlap=%b flush=%a pin=%b threads=%d}"
+     overlap=%b flush=%a pin=%b threads=%d%t}"
     t.threshold_pages t.pmd_caching t.aggregation t.aggregation_batch
     t.coalesce_runs t.pmd_leaf_swap t.allow_overlap Shootdown.pp_policy t.flush
     t.pin_compaction t.gc_threads
+    (fun ppf ->
+      if not (Svagc_fault.Fault_spec.is_empty t.fault_spec) then
+        Format.fprintf ppf " fault=%a seed=%d" Svagc_fault.Fault_spec.pp
+          t.fault_spec t.fault_seed)

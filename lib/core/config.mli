@@ -23,6 +23,14 @@ type t = {
   flush : Svagc_kernel.Shootdown.policy;
   pin_compaction : bool;  (** Algorithm 4 *)
   gc_threads : int;
+  fault_spec : Svagc_fault.Fault_spec.t;
+      (** Deterministic kernel fault injection ([--fault-spec]).  Empty
+          (the default) leaves every simulated output bit-identical to a
+          build without the fault plane; non-empty specs exercise the
+          typed error paths and the GC's SwapVA→memmove degradation. *)
+  fault_seed : int;
+      (** Seed for the injector's per-clause PRNG streams
+          ([--fault-seed]); same spec + same seed ⇒ byte-identical runs. *)
 }
 
 val default : t

@@ -25,34 +25,168 @@ let swap_opts (cfg : Config.t) =
     leaf_swap = cfg.pmd_leaf_swap;
   }
 
-(* Flush a pending batch of swap requests and return the per-entry cost
-   attribution (proportional to page counts, the dominant term).  Each
-   batch item is one SwapVA request paired with the page count of every
-   compaction entry coalesced into it (head first), so the call's cost
-   splits back into one outcome per original entry. *)
-let flush_batch proc ~opts ~aggregated batch =
+module Kernel_error = Svagc_fault.Kernel_error
+
+(* A batch item: one SwapVA request plus the compaction entries coalesced
+   into it (head first).  Entries keep their (src, dst, len) so a request
+   the kernel refuses can still be completed entry-by-entry with memmove. *)
+type batch_entry = { e_src : int; e_dst : int; e_len : int; e_pages : int }
+
+let max_swap_retries = 3
+
+(* Distribute a call's cost over the entries it moved, proportional to
+   page counts (the dominant term). *)
+let attribute_entries ~total ~total_pages entries =
+  List.map
+    (fun e ->
+      total *. float_of_int e.e_pages /. float_of_int (max 1 total_pages))
+    entries
+
+let trace_fallback err ~entries ~pages ~retries =
+  if Tracer.tracing () then
+    Tracer.instant ~cat:"gc"
+      ~args:
+        [
+          ("error", Svagc_trace.Event.Str (Kernel_error.errno_name err));
+          ("detail", Svagc_trace.Event.Str (Kernel_error.to_string err));
+          ("entries", Svagc_trace.Event.Int entries);
+          ("pages", Svagc_trace.Event.Int pages);
+          ("retries", Svagc_trace.Event.Int retries);
+        ]
+      "gc.swap_fallback"
+
+(* A request the kernel failed: bounded retry for transient errors, then
+   graceful degradation to the byte-copy path.  [carry] is simulated ns
+   already spent on the failed attempt(s) that still must be charged.
+   Returns one (cost, swapped) outcome per entry of the item.
+
+   The kernel's "error implies no mutation" contract is what makes this
+   sound: a failed request left every entry at its source address, so
+   memmove sees exactly the pre-call bytes.  Non-degradable EINVALs are a
+   GC bug (malformed request) and re-raised loudly. *)
+let degrade_item proc ~opts ~aspace ?measure_core ~carry err (req, entries) =
+  let machine = Process.machine proc in
+  let perf = machine.Machine.perf in
+  let cost = machine.Machine.cost in
+  if not (Kernel_error.is_degradable err) then raise (Kernel_error.Fault err);
+  (* Bounded retry with exponential backoff, transient errors only. *)
+  let spent = ref carry in
+  let retries = ref 0 in
+  let result = ref (Error err) in
+  while
+    (match !result with Error e -> Kernel_error.is_transient e | Ok _ -> false)
+    && !retries < max_swap_retries
+  do
+    spent :=
+      !spent +. (cost.Cost_model.retry_backoff_ns *. (2.0 ** float_of_int !retries));
+    incr retries;
+    perf.Perf.swap_retries <- perf.Perf.swap_retries + 1;
+    match
+      Swapva.swap_result proc ~opts ~src:req.Swapva.src ~dst:req.Swapva.dst
+        ~pages:req.Swapva.pages
+    with
+    | Ok ns -> result := Ok ns
+    | Error (e, attempt_ns) ->
+      spent := !spent +. attempt_ns;
+      result := Error e
+  done;
+  let total_pages = req.Swapva.pages in
+  match !result with
+  | Ok ns ->
+    (* A retry went through: entries were swapped after all; spread the
+       whole episode's cost (backoffs + failed attempts + success). *)
+    let total = !spent +. ns in
+    List.map (fun c -> (c, true)) (attribute_entries ~total ~total_pages entries)
+  | Error err ->
+    if not (Kernel_error.is_degradable err) then raise (Kernel_error.Fault err);
+    perf.Perf.swap_fallbacks <- perf.Perf.swap_fallbacks + 1;
+    trace_fallback err ~entries:(List.length entries) ~pages:total_pages
+      ~retries:!retries;
+    (* Degrade: complete every entry of the request with memmove.  The
+       accumulated failure cost rides on the first entry. *)
+    List.mapi
+      (fun i e ->
+        let mv =
+          Memmove.move ?measure_core ~cold:true aspace ~src:e.e_src ~dst:e.e_dst
+            ~len:e.e_len
+        in
+        ((if i = 0 then !spent +. mv else mv), false))
+      entries
+
+(* Flush a pending batch of swap requests and return one (cost_ns, swapped)
+   outcome per compaction entry, in entry order.  The fault-free path is
+   float-for-float identical to charging the call total proportionally by
+   page count.  On a typed kernel failure the batch degrades per the
+   DESIGN.md fault chapter: completed requests keep their swaps, the
+   failing request retries/falls back to memmove, and the untried suffix
+   is re-flushed (a fresh syscall batch). *)
+let rec flush_batch proc ~opts ~aspace ?measure_core ~aggregated batch =
   match batch with
   | [] -> []
   | items ->
     let requests = List.map fst items in
-    let total =
+    let outcome =
       if aggregated then Swapva.swap_aggregated proc ~opts requests
       else Swapva.swap_separated proc ~opts requests
     in
-    let total_pages =
-      List.fold_left (fun acc r -> acc + r.Swapva.pages) 0 requests
-    in
-    List.concat_map
-      (fun (_, entry_pages) ->
-        List.map
-          (fun p -> total *. float_of_int p /. float_of_int (max 1 total_pages))
-          entry_pages)
-      items
+    (match outcome.Swapva.failure with
+    | None ->
+      let total_pages =
+        List.fold_left (fun acc r -> acc + r.Swapva.pages) 0 requests
+      in
+      List.concat_map
+        (fun (_, entries) ->
+          List.map
+            (fun c -> (c, true))
+            (attribute_entries ~total:outcome.Swapva.ns ~total_pages entries))
+        items
+    | Some err ->
+      let completed = outcome.Swapva.completed in
+      let rec split k acc = function
+        | failed :: rest when k = 0 -> (List.rev acc, failed, rest)
+        | item :: rest -> split (k - 1) (item :: acc) rest
+        | [] -> assert false
+      in
+      let done_items, failed_item, rest_items = split completed [] items in
+      (* Completed requests absorb the call's cost (including the failed
+         request's setup — the price of discovering the fault); when
+         nothing completed, the whole spent ns carries to the failed
+         request's handling so no simulated time is lost. *)
+      let done_pages =
+        List.fold_left (fun acc (r, _) -> acc + r.Swapva.pages) 0 done_items
+      in
+      let done_costs =
+        List.concat_map
+          (fun (_, entries) ->
+            List.map
+              (fun c -> (c, true))
+              (attribute_entries ~total:outcome.Swapva.ns ~total_pages:done_pages
+                 entries))
+          done_items
+      in
+      let carry = if completed = 0 then outcome.Swapva.ns else 0.0 in
+      let failed_costs =
+        degrade_item proc ~opts ~aspace ?measure_core ~carry err failed_item
+      in
+      done_costs @ failed_costs
+      @ flush_batch proc ~opts ~aspace ?measure_core ~aggregated rest_items)
 
 let mover ?measure_core (cfg : Config.t) =
   Config.validate cfg;
   let prologue heap =
     let proc = Heap.proc heap in
+    (* Arm the machine's fault plane on first use.  Installation is
+       idempotent across GC cycles (the injector's streams keep advancing,
+       so cycles see fresh draws), and an empty spec installs nothing —
+       keeping the zero-fault configuration bit-identical to a build
+       without the plane. *)
+    (if not (Svagc_fault.Fault_spec.is_empty cfg.fault_spec) then
+       let machine = Process.machine proc in
+       match machine.Machine.fault with
+       | Some _ -> ()
+       | None ->
+         machine.Machine.fault <-
+           Some (Svagc_fault.Injector.create cfg.fault_spec ~seed:cfg.fault_seed));
     if cfg.pin_compaction then begin
       let machine = Process.machine proc in
       let pin_cost = Process.pin proc ~core:(Process.current_core proc) in
@@ -89,10 +223,13 @@ let mover ?measure_core (cfg : Config.t) =
     let coalesced = ref 0 in
     let flush_pending () =
       let items = List.rev_map (fun (r, ep) -> (r, List.rev ep)) !pending in
-      let costs = flush_batch proc ~opts ~aggregated:cfg.aggregation items in
+      let costs =
+        flush_batch proc ~opts ~aspace ?measure_core ~aggregated:cfg.aggregation
+          items
+      in
       List.iter
-        (fun cost_ns ->
-          Svagc_util.Vec.push out { Compact.cost_ns; swapped = true })
+        (fun (cost_ns, swapped) ->
+          Svagc_util.Vec.push out { Compact.cost_ns; swapped })
         costs;
       if !pending_count > 0 && Tracer.tracing () then
         Tracer.instant ~cat:"gc"
@@ -113,6 +250,7 @@ let mover ?measure_core (cfg : Config.t) =
         if should_swap cfg ~len then begin
           assert (Addr.is_page_aligned src && Addr.is_page_aligned dst);
           let pages = Addr.pages_spanned len in
+          let entry = { e_src = src; e_dst = dst; e_len = len; e_pages = pages } in
           incr pending_entries;
           let merged =
             match !pending with
@@ -124,7 +262,7 @@ let mover ?measure_core (cfg : Config.t) =
                 else begin
                   perf.Perf.runs_coalesced <- perf.Perf.runs_coalesced + 1;
                   incr coalesced;
-                  Some ((m, pages :: ep) :: rest)
+                  Some ((m, entry :: ep) :: rest)
                 end
               end
               else None
@@ -133,7 +271,7 @@ let mover ?measure_core (cfg : Config.t) =
           match merged with
           | Some pending' -> pending := pending'
           | None ->
-            pending := ({ Swapva.src; dst; pages }, [ pages ]) :: !pending;
+            pending := ({ Swapva.src; dst; pages }, [ entry ]) :: !pending;
             incr pending_count;
             if !pending_count >= cfg.aggregation_batch then flush_pending ()
         end

@@ -3,7 +3,20 @@
     aggregated SwapVA calls when enabled), everything else falls back to
     byte copy.  With [pin_compaction] the mover implements Algorithm 4:
     pin, one up-front all-core shootdown, local-only flushes per call,
-    unpin. *)
+    unpin.
+
+    {b Kernel error handling.}  SwapVA reports failures as typed
+    [Svagc_fault.Kernel_error.t] values and guarantees a failed request
+    mutated nothing, so the mover degrades gracefully instead of crashing
+    the GC: transient [EAGAIN] faults are retried up to 3 times with
+    exponential backoff ([Cost_model.retry_backoff_ns], charged to
+    simulated time and counted in [perf.swap_retries]); degradable
+    failures ([EFAULT], exhausted retries) complete the request's entries
+    through the byte-copy path instead ([perf.swap_fallbacks], a
+    ["gc.swap_fallback"] trace instant).  Non-degradable [EINVAL]s mean
+    the GC built a malformed request and re-raise loudly.  When
+    [Config.fault_spec] is non-empty the mover's prologue arms the
+    machine's injection plane with [Config.fault_seed]. *)
 
 open Svagc_heap
 

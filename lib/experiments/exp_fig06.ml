@@ -40,9 +40,9 @@ let measure ?(requests = 64) () =
       let machine = Machine.create ~phys_mib:512 Cost_model.i5_7600 in
       let proc = Process.create machine in
       let reqs = build_requests proc ~requests ~pages in
-      let separated_ns = Swapva.swap_separated proc ~opts reqs in
+      let separated_ns = (Swapva.swap_separated proc ~opts reqs).Swapva.ns in
       (* Swap back so both measurements see identical mappings. *)
-      let aggregated_ns = Swapva.swap_aggregated proc ~opts reqs in
+      let aggregated_ns = (Swapva.swap_aggregated proc ~opts reqs).Swapva.ns in
       {
         pages_per_request = pages;
         separated_ns;

@@ -1,0 +1,5 @@
+(** Resilience extension — full GCs under deterministic kernel fault
+    injection (sweep of EFAULT / EAGAIN / lost-IPI rates with post-GC heap
+    audits).  Registered as [exp resilience]. *)
+
+val run : ?quick:bool -> unit -> unit

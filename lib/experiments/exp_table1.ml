@@ -37,9 +37,9 @@ let aggregation_demo () =
     { Swapva.pmd_caching = true; flush = Svagc_kernel.Shootdown.Local_pinned;
       allow_overlap = false; leaf_swap = false }
   in
-  let separated = Swapva.swap_separated proc ~opts reqs in
-  let aggregated = Swapva.swap_aggregated proc ~opts reqs in
-  let single = Swapva.swap_separated proc ~opts [ List.hd reqs ] in
+  let separated = (Swapva.swap_separated proc ~opts reqs).Swapva.ns in
+  let aggregated = (Swapva.swap_aggregated proc ~opts reqs).Swapva.ns in
+  let single = (Swapva.swap_separated proc ~opts [ List.hd reqs ]).Swapva.ns in
   (100.0 *. (separated -. aggregated) /. separated, single)
 
 (* Demonstration 2: the overlap dispatcher only fires on overlapping

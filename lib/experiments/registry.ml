@@ -23,6 +23,7 @@ let all =
     { id = "table3"; title = "Cache & DTLB miss evaluation"; run = Exp_table3.run };
     { id = "ablation"; title = "Sensitivity & knock-outs (extension)"; run = Exp_ablation.run };
     { id = "extensions"; title = "Minor/concurrent SwapVA + NVM wear (extension)"; run = Exp_extensions.run };
+    { id = "resilience"; title = "GC under injected kernel faults (extension)"; run = Exp_resilience.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,131 @@
+type site = Pte_resolve | Lock_acquire | Ipi_deliver
+
+type mode = Probability of float | Every of int
+
+type clause = {
+  site : site;
+  mode : mode;
+  va_lo : int option;
+  va_hi : int option;
+}
+
+type t = clause list
+
+let empty = []
+let is_empty t = t = []
+
+let site_name = function
+  | Pte_resolve -> "pte"
+  | Lock_acquire -> "lock"
+  | Ipi_deliver -> "ipi"
+
+let site_of_name = function
+  | "pte" -> Ok Pte_resolve
+  | "lock" -> Ok Lock_acquire
+  | "ipi" -> Ok Ipi_deliver
+  | s -> Error (Printf.sprintf "unknown fault site %S (want pte|lock|ipi)" s)
+
+let int_of_token s =
+  (* Accepts decimal and 0x-prefixed hex. *)
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "not a number: %S" s)
+
+let parse_clause text =
+  match String.split_on_char ':' text with
+  | [] | [ "" ] -> Error "empty fault clause"
+  | site_token :: fields -> (
+    match site_of_name site_token with
+    | Error _ as e -> e
+    | Ok site ->
+      let mode = ref None and va = ref None and err = ref None in
+      let set_mode m =
+        match !mode with
+        | Some _ -> err := Some (Printf.sprintf "clause %S: duplicate mode" text)
+        | None -> mode := Some m
+      in
+      List.iter
+        (fun field ->
+          if !err = None then
+            match String.index_opt field '=' with
+            | None ->
+              err :=
+                Some (Printf.sprintf "clause %S: expected key=value, got %S" text field)
+            | Some i -> (
+              let key = String.sub field 0 i in
+              let value = String.sub field (i + 1) (String.length field - i - 1) in
+              match key with
+              | "p" -> (
+                match float_of_string_opt value with
+                | Some p when p >= 0.0 && p <= 1.0 -> set_mode (Probability p)
+                | Some _ ->
+                  err :=
+                    Some (Printf.sprintf "clause %S: p must be in [0,1]" text)
+                | None ->
+                  err := Some (Printf.sprintf "clause %S: bad probability %S" text value))
+              | "every" -> (
+                match int_of_string_opt value with
+                | Some n when n > 0 -> set_mode (Every n)
+                | _ ->
+                  err :=
+                    Some (Printf.sprintf "clause %S: every must be a positive int" text))
+              | "va" -> (
+                match String.index_opt value '-' with
+                | None ->
+                  err := Some (Printf.sprintf "clause %S: va wants LO-HI" text)
+                | Some j -> (
+                  let lo = String.sub value 0 j in
+                  let hi = String.sub value (j + 1) (String.length value - j - 1) in
+                  match (int_of_token lo, int_of_token hi) with
+                  | Ok lo, Ok hi when lo <= hi -> va := Some (lo, hi)
+                  | Ok _, Ok _ ->
+                    err := Some (Printf.sprintf "clause %S: empty va range" text)
+                  | Error e, _ | _, Error e ->
+                    err := Some (Printf.sprintf "clause %S: %s" text e)))
+              | _ ->
+                err :=
+                  Some
+                    (Printf.sprintf "clause %S: unknown key %S (want p|every|va)" text
+                       key)))
+        fields;
+      (match !err with
+      | Some e -> Error e
+      | None -> (
+        match !mode with
+        | None ->
+          Error (Printf.sprintf "clause %S: missing firing mode (p=… or every=…)" text)
+        | Some mode ->
+          let va_lo, va_hi =
+            match !va with Some (lo, hi) -> (Some lo, Some hi) | None -> (None, None)
+          in
+          Ok { site; mode; va_lo; va_hi })))
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Ok empty
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | text :: rest -> (
+        match parse_clause (String.trim text) with
+        | Ok c -> go (c :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)
+
+let clause_to_string c =
+  let mode =
+    match c.mode with
+    | Probability p -> Printf.sprintf "p=%g" p
+    | Every n -> Printf.sprintf "every=%d" n
+  in
+  let range =
+    match (c.va_lo, c.va_hi) with
+    | Some lo, Some hi -> Printf.sprintf ":va=0x%x-0x%x" lo hi
+    | _ -> ""
+  in
+  Printf.sprintf "%s:%s%s" (site_name c.site) mode range
+
+let to_string t = String.concat "," (List.map clause_to_string t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,53 @@
+type armed = {
+  clause : Fault_spec.clause;
+  rng : Svagc_util.Rng.t;
+  mutable matched : int; (* queries that matched this clause *)
+}
+
+type t = {
+  spec : Fault_spec.t;
+  seed : int;
+  clauses : armed list;
+  mutable fired : int;
+  mutable queries : int;
+}
+
+let create spec ~seed =
+  (* Each clause owns a stream keyed by (seed, index) so firing decisions
+     in one clause never perturb another's sequence. *)
+  let clauses =
+    List.mapi
+      (fun i clause ->
+        { clause; rng = Svagc_util.Rng.create ~seed:(seed + ((i + 1) * 0x9e3779b9)); matched = 0 })
+      spec
+  in
+  { spec; seed; clauses; fired = 0; queries = 0 }
+
+let spec t = t.spec
+let seed t = t.seed
+let fired t = t.fired
+let queries t = t.queries
+
+let clause_matches (c : Fault_spec.clause) ~site ~va =
+  c.site = site
+  &&
+  match (c.va_lo, c.va_hi) with
+  | Some lo, Some hi -> site <> Fault_spec.Pte_resolve || (va >= lo && va <= hi)
+  | _ -> true
+
+let clause_fires (a : armed) =
+  a.matched <- a.matched + 1;
+  match a.clause.mode with
+  | Fault_spec.Probability p -> p > 0.0 && Svagc_util.Rng.float a.rng < p
+  | Fault_spec.Every n -> a.matched mod n = 0
+
+let fire t ~site ~va =
+  t.queries <- t.queries + 1;
+  let rec scan = function
+    | [] -> false
+    | a :: rest ->
+      if clause_matches a.clause ~site ~va then clause_fires a else scan rest
+  in
+  let hit = scan t.clauses in
+  if hit then t.fired <- t.fired + 1;
+  hit

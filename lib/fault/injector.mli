@@ -1,0 +1,37 @@
+(** Deterministic fault stream: a {!Fault_spec.t} armed with a seed.
+
+    Each clause of the spec owns an independent SplitMix64 stream derived
+    from the injector seed and the clause's position, so
+
+    - the same [(spec, seed)] pair always produces the same fault
+      sequence, byte for byte, regardless of what other clauses do;
+    - an empty spec (or rate 0) never fires and — because streams are
+      only consulted when a clause matches — leaves every simulation
+      output bit-identical to a run without an injector.
+
+    The injector is pure bookkeeping: it decides {e whether} a query
+    fires.  Turning a firing into a typed {!Kernel_error.t} (and
+    charging its cost) is the querying site's job. *)
+
+type t
+
+val create : Fault_spec.t -> seed:int -> t
+(** [create spec ~seed] arms [spec].  Distinct seeds give independent
+    fault sequences for the same spec. *)
+
+val spec : t -> Fault_spec.t
+val seed : t -> int
+
+val fire : t -> site:Fault_spec.site -> va:int -> bool
+(** [fire t ~site ~va] asks whether this query faults.  The first
+    matching clause (same site, [va] inside its window if it has one)
+    decides; its counter/PRNG stream advances only on a match.  Pass
+    [~va:0] for sites without a meaningful address ([Lock_acquire],
+    [Ipi_deliver]) — clause windows then only constrain [Pte_resolve]
+    queries. *)
+
+val fired : t -> int
+(** Total number of queries answered [true] so far (all sites). *)
+
+val queries : t -> int
+(** Total number of {!fire} calls so far. *)

@@ -219,3 +219,49 @@ let free_bytes t = t.limit - t.top
 let wasted_bytes t = t.waste
 
 let object_count t = Vec.length t.objects
+
+let audit t =
+  let problems = ref [] in
+  let bad fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+  let aspace = Process.aspace t.proc in
+  Vec.iter
+    (fun o ->
+      let addr = o.Obj_model.addr and size = o.Obj_model.size in
+      let id = o.Obj_model.id in
+      if addr < t.base || addr + size > t.limit then
+        bad "object %d: [0x%x, 0x%x) escapes the heap [0x%x, 0x%x)" id addr
+          (addr + size) t.base t.limit
+      else begin
+        (* Every page the object touches must still translate: a botched
+           swap/fallback would leave a hole or a stale frame here. *)
+        let first = Addr.align_down addr in
+        let last = addr + size - 1 in
+        let va = ref first in
+        let hole = ref None in
+        while !hole = None && !va <= last do
+          if Address_space.translate aspace ~va:!va = None then hole := Some !va;
+          va := !va + Addr.page_size
+        done;
+        match !hole with
+        | Some va -> bad "object %d: page 0x%x is unmapped" id va
+        | None ->
+          if not (header_matches t o) then
+            bad "object %d at 0x%x: header does not match (id/size stamp)" id addr
+      end)
+    t.objects;
+  (* Live objects must not overlap each other. *)
+  let sorted =
+    List.sort
+      (fun a b -> compare a.Obj_model.addr b.Obj_model.addr)
+      (Vec.to_list t.objects)
+  in
+  (let rec scan = function
+     | a :: (b :: _ as rest) ->
+       if a.Obj_model.addr + a.Obj_model.size > b.Obj_model.addr then
+         bad "objects %d and %d overlap (0x%x+%d > 0x%x)" a.Obj_model.id
+           b.Obj_model.id a.Obj_model.addr a.Obj_model.size b.Obj_model.addr;
+       scan rest
+     | _ -> ()
+   in
+   scan sorted);
+  match List.rev !problems with [] -> Ok () | ps -> Error ps

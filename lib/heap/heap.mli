@@ -143,3 +143,13 @@ val wasted_bytes : t -> int
 (** Alignment waste accumulated by this heap's allocations. *)
 
 val object_count : t -> int
+
+val audit : t -> (unit, string list) result
+(** Post-GC invariant check, used by the resilience experiment and the
+    fault-injection tests as the ground truth that degraded collections
+    still produced a correct heap.  Verifies, for every live object: its
+    range lies inside the heap bounds, every page it touches still
+    translates through the page table, and its stamped header (id, size)
+    reads back intact through the MMU; then checks that no two live
+    objects overlap.  [Error] carries one human-readable line per
+    violation, in discovery order. *)

@@ -44,8 +44,9 @@ let get_pte t va =
     | None -> (
       match Page_table.find_leaf t.pt va with
       | None ->
-        invalid_arg
-          (Format.asprintf "Pte_walker.get_pte: no mapping at %a" Addr.pp va)
+        raise
+          (Svagc_fault.Kernel_error.Fault
+             (Svagc_fault.Kernel_error.EFAULT_unmapped { va }))
       | Some leaf ->
         perf.Perf.pt_walks <- perf.Perf.pt_walks + 1;
         t.cost <- t.cost +. Cost_model.walk_cost_ns cost;

@@ -20,8 +20,9 @@ val add_cost : t -> float -> unit
 val get_pte : t -> int -> Pte.value array * int
 (** [get_pte w va] is the leaf table and slot index for [va], charging a
     full walk or a PMD-cache hit.  Does NOT charge the lock pair — callers
-    charge it per Algorithm step.  @raise Invalid_argument when the page
-    has no leaf table. *)
+    charge it per Algorithm step.
+    @raise Svagc_fault.Kernel_error.Fault with [EFAULT_unmapped] when the
+    page has no leaf table. *)
 
 val cache_holds : t -> int -> bool
 (** Would [get_pte] on this address hit the PMD cache right now?  Used by

@@ -59,7 +59,14 @@ let flush_after_swap machine ~asid ~core policy =
           cost.Cost_model.ipi_ns
           +. (float_of_int (remote - 1) *. cost.Cost_model.ipi_ack_ns)
       in
-      cost.Cost_model.tlb_flush_local_ns +. (0.6 *. broadcast)
+      (* The targeted flush sends its own IPIs, so it asks the fault plane
+         itself; a lost IPI is detected and resent at full (not 0.6×)
+         round-trip cost. *)
+      let penalty =
+        if remote = 0 then 0.0
+        else Machine.ipi_delivery_penalty_ns machine ~from_core:core
+      in
+      cost.Cost_model.tlb_flush_local_ns +. (0.6 *. broadcast) +. penalty
     | Local_pinned ->
       machine.Machine.perf.Perf.tlb_flush_local <-
         machine.Machine.perf.Perf.tlb_flush_local + 1;

@@ -10,14 +10,24 @@ let rotation_reference a ~delta =
    window, where [total = pages + delta]. *)
 let find_swap_place ~i ~delta ~pages = if i < delta then i + pages else i - delta
 
-let swap proc ~pmd_caching ~per_page_flush ~src ~dst ~pages =
-  if not (Addr.is_page_aligned src && Addr.is_page_aligned dst) then
-    invalid_arg "Swap_overlap.swap: addresses must be page-aligned";
-  if pages <= 0 then invalid_arg "Swap_overlap.swap: pages must be positive";
-  if dst <= src then invalid_arg "Swap_overlap.swap: requires src < dst";
-  let delta = (dst - src) / Addr.page_size in
-  if delta > pages then
-    invalid_arg "Swap_overlap.swap: ranges do not overlap (use Swapva.swap)";
+exception Bail of Svagc_fault.Kernel_error.t
+
+let swap ?(fault = None) proc ~pmd_caching ~per_page_flush ~src ~dst ~pages =
+  match
+    let open Svagc_fault.Kernel_error in
+    if not (Addr.is_page_aligned src) then raise (Bail (EINVAL_unaligned { va = src }));
+    if not (Addr.is_page_aligned dst) then raise (Bail (EINVAL_unaligned { va = dst }));
+    if pages <= 0 then raise (Bail (EINVAL_bad_pages { pages }));
+    if dst <= src then
+      raise (Bail (EINVAL_geometry { reason = "overlap path requires src < dst" }));
+    let delta = (dst - src) / Addr.page_size in
+    if delta > pages then
+      raise
+        (Bail (EINVAL_geometry { reason = "ranges do not overlap (use Swapva.swap)" }));
+    delta
+  with
+  | exception Bail e -> Error e
+  | delta ->
   let machine = Process.machine proc in
   let aspace = Process.aspace proc in
   let pt = Address_space.page_table aspace in
@@ -29,11 +39,25 @@ let swap proc ~pmd_caching ~per_page_flush ~src ~dst ~pages =
   (* Verify the whole window is mapped before mutating anything, so a bad
      call cannot leave a half-rotated window behind.  This is the vma check
      a real kernel does up front; its cost is the caller's swap_setup_ns,
-     so no walker cost is charged here. *)
-  for idx = 0 to total - 1 do
-    if not (Pte.is_present (Page_table.get_pte pt (src + (idx * Addr.page_size))))
-    then invalid_arg "Swap_overlap.swap: window contains an unmapped page"
-  done;
+     so no walker cost is charged here.  The fault plane's [pte] clause is
+     queried here too — an injected EFAULT models a racing unmap observed
+     during resolution, and like a real one it precedes all mutation. *)
+  match
+    for idx = 0 to total - 1 do
+      let va = src + (idx * Addr.page_size) in
+      if not (Pte.is_present (Page_table.get_pte pt va)) then
+        raise (Bail (Svagc_fault.Kernel_error.EFAULT_unmapped { va }));
+      match fault with
+      | Some inj
+        when Svagc_fault.Injector.fire inj ~site:Svagc_fault.Fault_spec.Pte_resolve ~va
+        ->
+        raise (Bail (Svagc_fault.Kernel_error.EFAULT_unmapped { va }))
+      | _ -> ()
+    done
+  with
+  | exception Bail e -> Error e
+  | () ->
+  Ok (
   let cycles = Svagc_util.Num_util.gcd delta pages in
   for cur_idx = 0 to cycles - 1 do
     let cur_slot = slot_at cur_idx in
@@ -61,4 +85,4 @@ let swap proc ~pmd_caching ~per_page_flush ~src ~dst ~pages =
     perf.Perf.ptes_swapped <- perf.Perf.ptes_swapped + 1
   done;
   perf.Perf.bytes_remapped <- perf.Perf.bytes_remapped + (pages * Addr.page_size);
-  Pte_walker.cost_ns walker
+  Pte_walker.cost_ns walker)

@@ -15,13 +15,14 @@ val rotation_reference : 'a array -> delta:int -> 'a array
     [delta]. *)
 
 val swap :
+  ?fault:Svagc_fault.Injector.t option ->
   Process.t ->
   pmd_caching:bool ->
   per_page_flush:bool ->
   src:int ->
   dst:int ->
   pages:int ->
-  float
+  (float, Svagc_fault.Kernel_error.t) result
 (** Perform the overlapping swap and return the kernel-side cost in ns.
     With [per_page_flush] the per-PTE [flush_tlb_page] of Algorithm 2 is
     charged; under Algorithm 4's pinned stop-the-world compaction nothing
@@ -30,6 +31,11 @@ val swap :
     [false] (an engineering refinement over the paper's listing, see
     DESIGN.md).  The syscall crossing and the remote-visibility shootdown
     are charged by the caller ({!Swapva}), which owns the flush policy.
-    @raise Invalid_argument unless [src < dst], both page-aligned, the
-    ranges actually overlap ([dst < src + pages·PAGE]) and every page of
-    the union window is mapped. *)
+
+    Errors — [EINVAL_unaligned]/[EINVAL_bad_pages] on malformed inputs,
+    [EINVAL_geometry] unless [src < dst] and the ranges actually overlap
+    ([dst < src + pages·PAGE]), [EFAULT_unmapped] when the union window
+    has an absent page — are all reported {e before} any PTE moves, so an
+    [Error] guarantees the window is untouched.  [fault] (default [None])
+    is the machine's injection plane: its [pte] clause is consulted once
+    per window page during the pre-mutation presence check. *)

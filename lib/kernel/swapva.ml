@@ -34,13 +34,24 @@ let ranges_overlap { src; dst; pages } =
   let lo = min src dst and hi = max src dst in
   hi < lo + len
 
-let validate { src; dst; pages } =
-  if pages <= 0 then invalid_arg "Swapva: pages must be positive";
-  if not (Addr.is_page_aligned src && Addr.is_page_aligned dst) then
-    invalid_arg "Swapva: addresses must be page-aligned";
-  if src = dst then invalid_arg "Swapva: ranges are identical"
+module Kernel_error = Svagc_fault.Kernel_error
 
-let unmapped () = invalid_arg "Swapva: range contains an unmapped page"
+(* Kernel internals signal failure by raising [Kernel_error.Fault]; the
+   syscall boundary ([swap] / [swap_aggregated]) catches it and returns the
+   payload as a typed error.  Every raise below precedes all PTE mutation
+   for its request, which is what lets the boundary promise "Error implies
+   no mutation". *)
+let kerror e = raise (Kernel_error.Fault e)
+
+let validate { src; dst; pages } =
+  if pages <= 0 then kerror (Kernel_error.EINVAL_bad_pages { pages });
+  if not (Addr.is_page_aligned src) then
+    kerror (Kernel_error.EINVAL_unaligned { va = src });
+  if not (Addr.is_page_aligned dst) then
+    kerror (Kernel_error.EINVAL_unaligned { va = dst });
+  if src = dst then kerror Kernel_error.EINVAL_identical
+
+let unmapped ~va () = kerror (Kernel_error.EFAULT_unmapped { va })
 
 (* The body of Algorithm 1 for one request, page by page.  Kept as the
    executable reference for the run-coalesced engine below: property tests
@@ -55,10 +66,10 @@ let swap_disjoint_per_page proc ~pmd_caching req =
   (* vma-style precheck, charged via swap_setup_ns by the caller. *)
   for i = 0 to req.pages - 1 do
     let off = i * Addr.page_size in
-    if
-      (not (Pte.is_present (Page_table.get_pte pt (req.src + off))))
-      || not (Pte.is_present (Page_table.get_pte pt (req.dst + off)))
-    then unmapped ()
+    if not (Pte.is_present (Page_table.get_pte pt (req.src + off))) then
+      unmapped ~va:(req.src + off) ();
+    if not (Pte.is_present (Page_table.get_pte pt (req.dst + off))) then
+      unmapped ~va:(req.dst + off) ()
   done;
   let walker = Pte_walker.create machine pt ~pmd_caching in
   for i = 0 to req.pages - 1 do
@@ -83,25 +94,42 @@ let swap_disjoint_per_page proc ~pmd_caching req =
    mutation, so a bad range can never leave a half-swapped window behind
    (same guarantee, and same error, as the per-page precheck above).
    Resolution and presence checking model the vma walk whose cost is the
-   caller's swap_setup_ns, so no walker cost is charged. *)
-let resolve_present_runs pt ~va ~pages =
+   caller's swap_setup_ns, so no walker cost is charged.
+
+   [fault] is the machine's injection plane (only the syscall path passes
+   it; the public engines stay injection-free so they remain usable as
+   oracles).  Its [pte] clause is consulted once per page, in address
+   order, and a firing reports the page as [EFAULT_unmapped] exactly as a
+   racing unmap would — still strictly before any mutation. *)
+let resolve_present_runs ?(fault = None) pt ~va ~pages =
   let runs = ref [] and n_runs = ref 0 in
   let absent = Pte.none in
   let cursor = ref va and remaining = ref pages in
   while !remaining > 0 do
     match Page_table.find_leaf_run pt !cursor ~max_pages:!remaining with
-    | None -> unmapped ()
+    | None -> unmapped ~va:!cursor ()
     | Some (leaf, start, len) ->
-      (* [find_leaf_run] guarantees [start + len <= Array.length leaf];
-         this scan visits every page of every swap, so skip the per-read
-         bounds check and compare against the hoisted absent value rather
-         than calling [Pte.is_present] per page. *)
       let stop = start + len in
-      let i = ref start in
-      while !i < stop && Array.unsafe_get leaf !i <> absent do
-        incr i
-      done;
-      if !i < stop then unmapped ();
+      (match fault with
+      | None ->
+        (* [find_leaf_run] guarantees [start + len <= Array.length leaf];
+           this scan visits every page of every swap, so skip the per-read
+           bounds check and compare against the hoisted absent value rather
+           than calling [Pte.is_present] per page. *)
+        let i = ref start in
+        while !i < stop && Array.unsafe_get leaf !i <> absent do
+          incr i
+        done;
+        if !i < stop then unmapped ~va:(!cursor + ((!i - start) * Addr.page_size)) ()
+      | Some inj ->
+        for i = start to stop - 1 do
+          let page_va = !cursor + ((i - start) * Addr.page_size) in
+          if
+            Array.unsafe_get leaf i = absent
+            || Svagc_fault.Injector.fire inj
+                 ~site:Svagc_fault.Fault_spec.Pte_resolve ~va:page_va
+          then unmapped ~va:page_va ()
+        done);
       runs := (leaf, start, len) :: !runs;
       incr n_runs;
       cursor := !cursor + (len * Addr.page_size);
@@ -120,15 +148,19 @@ let resolve_present_runs pt ~va ~pages =
    whole PMD-aligned 512-page leaf on both sides are exchanged at the PMD
    directory level in O(1) simulated cost — this mode deliberately changes
    the cost model and is excluded from the equivalence guarantee. *)
-let swap_disjoint_runs proc ~pmd_caching ~leaf_swap req =
+let swap_disjoint_runs ?(fault = None) proc ~pmd_caching ~leaf_swap req =
   let machine = Process.machine proc in
   let aspace = Process.aspace proc in
   let pt = Address_space.page_table aspace in
   let perf = machine.Machine.perf in
   let cost = machine.Machine.cost in
   let ps = Addr.page_size in
-  let src_runs, n_src = resolve_present_runs pt ~va:req.src ~pages:req.pages in
-  let dst_runs, n_dst = resolve_present_runs pt ~va:req.dst ~pages:req.pages in
+  let src_runs, n_src =
+    resolve_present_runs ~fault pt ~va:req.src ~pages:req.pages
+  in
+  let dst_runs, n_dst =
+    resolve_present_runs ~fault pt ~va:req.dst ~pages:req.pages
+  in
   perf.Perf.leaf_runs <- perf.Perf.leaf_runs + n_src + n_dst;
   let walker = Pte_walker.create machine pt ~pmd_caching in
   let si = ref 0 and soff = ref 0 in
@@ -205,27 +237,40 @@ let swap_disjoint_run ?(leaf_swap = false) proc ~pmd_caching req =
 (* One request inside an (aggregated or single) call: setup + body.
    Overlapping requests take the Algorithm 2 path, which performs its own
    per-page local flushes; the remote-visibility shootdown is paid once per
-   call by [final_flush]. *)
+   call by [final_flush].  Raises [Kernel_error.Fault] — always before any
+   mutation for this request — on invalid input or a firing fault clause;
+   the syscall boundary converts that to a typed result. *)
 let request_cost proc ~opts req =
   validate req;
   let machine = Process.machine proc in
+  let fault = machine.Machine.fault in
+  (* The page-table lock for this request: a firing [lock] clause models
+     losing the acquisition race, surfaced as the transient EAGAIN. *)
+  (match fault with
+  | Some inj
+    when Svagc_fault.Injector.fire inj ~site:Svagc_fault.Fault_spec.Lock_acquire
+           ~va:req.src ->
+    kerror Kernel_error.EAGAIN_contended
+  | _ -> ());
   let setup = machine.Machine.cost.Cost_model.swap_setup_ns in
   if ranges_overlap req then begin
-    if not opts.allow_overlap then
-      invalid_arg "Swapva: overlapping ranges (enable allow_overlap)";
+    if not opts.allow_overlap then kerror Kernel_error.EINVAL_overlap;
     let src = min req.src req.dst and dst = max req.src req.dst in
     let per_page_flush =
       match opts.flush with
       | Shootdown.Local_pinned | Shootdown.Self_invalidate -> false
       | Shootdown.Broadcast_per_call | Shootdown.Process_targeted -> true
     in
-    setup
-    +. Swap_overlap.swap proc ~pmd_caching:opts.pmd_caching ~per_page_flush ~src
-         ~dst ~pages:req.pages
+    match
+      Swap_overlap.swap ~fault proc ~pmd_caching:opts.pmd_caching ~per_page_flush
+        ~src ~dst ~pages:req.pages
+    with
+    | Ok body -> setup +. body
+    | Error e -> kerror e
   end
   else
     setup
-    +. swap_disjoint_runs proc ~pmd_caching:opts.pmd_caching
+    +. swap_disjoint_runs ~fault proc ~pmd_caching:opts.pmd_caching
          ~leaf_swap:opts.leaf_swap req
 
 let call_overhead proc =
@@ -260,27 +305,71 @@ let trace_call proc ~name ~requests ~ns =
       name
   end
 
+type outcome = {
+  ns : float;
+  completed : int;
+  failure : Kernel_error.t option;
+}
+
+(* What a failed request still costs: the crossing already happened and the
+   kernel did its vma/validation work before bailing out. *)
+let failed_request_ns proc =
+  (Process.machine proc).Machine.cost.Cost_model.swap_setup_ns
+
 let swap proc ~opts ~src ~dst ~pages =
   let req = { src; dst; pages } in
   let overhead = call_overhead proc in
-  let body = request_cost proc ~opts req in
-  let total = overhead +. body +. final_flush proc ~opts in
-  trace_call proc ~name:"swapva" ~requests:[ req ] ~ns:total;
-  total
+  match request_cost proc ~opts req with
+  | body ->
+    let total = overhead +. body +. final_flush proc ~opts in
+    trace_call proc ~name:"swapva" ~requests:[ req ] ~ns:total;
+    total
+  | exception Kernel_error.Fault e ->
+    let spent = overhead +. failed_request_ns proc in
+    trace_call proc ~name:"swapva.err" ~requests:[ req ] ~ns:spent;
+    raise (Kernel_error.Fault_ns (e, spent))
+
+let swap_result proc ~opts ~src ~dst ~pages =
+  match swap proc ~opts ~src ~dst ~pages with
+  | ns -> Ok ns
+  | exception Kernel_error.Fault_ns (e, spent) -> Error (e, spent)
 
 let swap_aggregated proc ~opts requests =
   match requests with
-  | [] -> 0.0
+  | [] -> { ns = 0.0; completed = 0; failure = None }
   | _ ->
     let overhead = call_overhead proc in
-    let body =
-      List.fold_left (fun acc req -> acc +. request_cost proc ~opts req) 0.0 requests
+    let body = ref 0.0 and completed = ref 0 and failure = ref None in
+    (try
+       List.iter
+         (fun req ->
+           let c = request_cost proc ~opts req in
+           body := !body +. c;
+           incr completed)
+         requests
+     with Kernel_error.Fault e ->
+       (* The failing request mutated nothing, but its setup was spent. *)
+       body := !body +. failed_request_ns proc;
+       failure := Some e);
+    (* Earlier requests in the batch did swap PTEs; their visibility flush
+       is still owed even when a later request failed. *)
+    let flush = if !completed > 0 then final_flush proc ~opts else 0.0 in
+    let total = overhead +. !body +. flush in
+    let name =
+      if !failure = None then "swapva.aggregated" else "swapva.aggregated.err"
     in
-    let total = overhead +. body +. final_flush proc ~opts in
-    trace_call proc ~name:"swapva.aggregated" ~requests ~ns:total;
-    total
+    trace_call proc ~name ~requests ~ns:total;
+    { ns = total; completed = !completed; failure = !failure }
 
 let swap_separated proc ~opts requests =
-  List.fold_left
-    (fun acc { src; dst; pages } -> acc +. swap proc ~opts ~src ~dst ~pages)
-    0.0 requests
+  let ns = ref 0.0 and completed = ref 0 and failure = ref None in
+  (try
+     List.iter
+       (fun { src; dst; pages } ->
+         ns := !ns +. swap proc ~opts ~src ~dst ~pages;
+         incr completed)
+       requests
+   with Kernel_error.Fault_ns (e, spent) ->
+     ns := !ns +. spent;
+     failure := Some e);
+  { ns = !ns; completed = !completed; failure = !failure }

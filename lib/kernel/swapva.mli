@@ -53,17 +53,47 @@ val swap_disjoint_run :
     sub-runs at the directory level for [Cost_model.pmd_swap_ns] each —
     outside the cost-equivalence guarantee. *)
 
+type outcome = {
+  ns : float;  (** total simulated cost, including any failed attempt *)
+  completed : int;  (** requests fully applied before the first failure *)
+  failure : Svagc_fault.Kernel_error.t option;
+      (** the typed error that stopped the call, or [None] when every
+          request was applied.  Requests after the failing one were not
+          attempted; the failing one mutated nothing. *)
+}
+(** Result of a multi-request call.  The kernel applies requests in order
+    and stops at the first error, so [completed] is always a prefix
+    length. *)
+
 val swap : Process.t -> opts:opts -> src:int -> dst:int -> pages:int -> float
 (** One syscall swapping [pages] pages between [src] and [dst]; returns the
     total simulated cost in ns (syscall crossing + setup + PTE work +
     shootdown per the policy).
-    @raise Invalid_argument on unaligned/unmapped ranges, or on overlapping
-    ranges when [allow_overlap] is false. *)
+    @raise Svagc_fault.Kernel_error.Fault_ns on any typed kernel error —
+    unaligned/unmapped ranges, overlapping ranges when [allow_overlap] is
+    false, or a firing fault-injection clause — carrying the error and the
+    ns the failed call still cost.  An error implies no PTE was mutated. *)
 
-val swap_aggregated : Process.t -> opts:opts -> request list -> float
+val swap_result :
+  Process.t ->
+  opts:opts ->
+  src:int ->
+  dst:int ->
+  pages:int ->
+  (float, Svagc_fault.Kernel_error.t * float) result
+(** {!swap} with the boundary exception reified: [Ok ns] on success,
+    [Error (e, spent_ns)] on a typed kernel error ([spent_ns] is the
+    syscall crossing + setup the failed call still consumed — callers
+    charge it to their cost accounting before retrying or degrading). *)
+
+val swap_aggregated : Process.t -> opts:opts -> request list -> outcome
 (** All requests in a single syscall: one crossing, one final shootdown
-    (per-request setup is still paid).  Empty list costs nothing. *)
+    (per-request setup is still paid).  Empty list costs nothing.  On a
+    typed kernel error the call stops there and reports it in
+    [failure]; already-completed requests stay applied (real batched
+    syscalls are not transactional) and their visibility shootdown is
+    still performed and charged. *)
 
-val swap_separated : Process.t -> opts:opts -> request list -> float
+val swap_separated : Process.t -> opts:opts -> request list -> outcome
 (** Convenience baseline: one {!swap} call per request (Fig. 5a / Fig. 6
-    "separated"). *)
+    "separated"), stopping at the first failing call. *)

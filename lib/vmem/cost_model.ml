@@ -25,6 +25,7 @@ type t = {
   ref_scan_ns : float;
   barrier_ns : float;
   steal_ns : float;
+  retry_backoff_ns : float;
 }
 
 let i5_7600 =
@@ -55,6 +56,7 @@ let i5_7600 =
     ref_scan_ns = 6.0;
     barrier_ns = 1200.0;
     steal_ns = 90.0;
+    retry_backoff_ns = 500.0;
   }
 
 let xeon_6130 =
@@ -85,6 +87,7 @@ let xeon_6130 =
     ref_scan_ns = 8.0;
     barrier_ns = 2000.0;
     steal_ns = 120.0;
+    retry_backoff_ns = 600.0;
   }
 
 let xeon_6240 =

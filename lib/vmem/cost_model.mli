@@ -47,6 +47,10 @@ type t = {
   ref_scan_ns : float;  (** per reference slot traced or adjusted *)
   barrier_ns : float;  (** parallel GC phase barrier *)
   steal_ns : float;  (** one work-stealing attempt *)
+  retry_backoff_ns : float;
+      (** base backoff the GC charges before re-issuing a SwapVA request
+          that failed with a transient [EAGAIN]; attempt [k] (0-based)
+          waits [retry_backoff_ns *. 2.0 ** k] simulated ns *)
 }
 
 val i5_7600 : t

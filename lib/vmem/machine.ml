@@ -12,6 +12,7 @@ type t = {
   llc : Cache_sim.t;
   mutable copy_streams : int;
   mutable next_asid : int;
+  mutable fault : Svagc_fault.Injector.t option;
 }
 
 let create ?ncores ?(phys_mib = 512) (cost : Cost_model.t) =
@@ -27,6 +28,7 @@ let create ?ncores ?(phys_mib = 512) (cost : Cost_model.t) =
     llc = Cache_sim.create ();
     copy_streams = 1;
     next_asid = 1;
+    fault = None;
   }
 
 let core t i =
@@ -55,6 +57,27 @@ let trace_ipis t ~from_core =
           "ipi"
     done
 
+(* A lost IPI is handled entirely inside the delivery protocol: the
+   initiator notices the missing ack and resends once, so callers only
+   ever see the extra latency, never an error (EIPI_lost stays
+   kernel-internal by design). *)
+let ipi_delivery_penalty_ns t ~from_core =
+  match t.fault with
+  | None -> 0.0
+  | Some inj ->
+    if Svagc_fault.Injector.fire inj ~site:Svagc_fault.Fault_spec.Ipi_deliver ~va:0
+    then begin
+      let victim = (from_core + 1) mod t.ncores in
+      t.perf.ipis_lost <- t.perf.ipis_lost + 1;
+      t.perf.ipis_sent <- t.perf.ipis_sent + 1;
+      if Tracer.tracing () then
+        Tracer.instant ~cat:"kernel" ~tid:victim
+          ~args:[ ("from_core", Svagc_trace.Event.Int from_core) ]
+          "ipi.lost";
+      t.cost.ipi_ns +. t.cost.ipi_ack_ns
+    end
+    else 0.0
+
 let ipi_broadcast_cost t ~from_core =
   (* Sends go out in parallel: the initiator pays one delivery latency
      plus an ack-gathering cost per remote core, not a serial round trip
@@ -64,7 +87,10 @@ let ipi_broadcast_cost t ~from_core =
   t.perf.shootdown_broadcasts <- t.perf.shootdown_broadcasts + 1;
   trace_ipis t ~from_core;
   if remote = 0 then 0.0
-  else t.cost.ipi_ns +. (float_of_int (remote - 1) *. t.cost.ipi_ack_ns)
+  else
+    t.cost.ipi_ns
+    +. (float_of_int (remote - 1) *. t.cost.ipi_ack_ns)
+    +. ipi_delivery_penalty_ns t ~from_core
 
 let flush_tlb_local t ~asid ~core =
   Tlb.flush_asid (Stdlib.Array.get t.cores core).tlb ~asid;

@@ -21,6 +21,11 @@ type t = {
       (** Concurrent memory-intensive streams; divides the machine copy
           bandwidth ceiling (multi-JVM contention). *)
   mutable next_asid : int;
+  mutable fault : Svagc_fault.Injector.t option;
+      (** The machine's fault-injection plane; [None] (the default) and an
+          injector with an all-zero-rate spec are observationally
+          bit-identical.  Installed by the GC from [Config.fault_spec] /
+          [Config.fault_seed]. *)
 }
 
 val create : ?ncores:int -> ?phys_mib:int -> Cost_model.t -> t
@@ -34,9 +39,19 @@ val fresh_asid : t -> int
 val effective_copy_bw : t -> bytes_len:int -> float
 (** Single-stream memmove bandwidth under the current contention level. *)
 
+val ipi_delivery_penalty_ns : t -> from_core:int -> float
+(** Ask the fault plane whether this IPI round loses a message.  On a
+    firing [ipi] clause the initiator detects the missing ack and resends
+    once: [perf.ipis_lost] and [perf.ipis_sent] are bumped, an
+    ["ipi.lost"] instant is traced on the victim core, and the extra
+    [ipi_ns +. ipi_ack_ns] round is returned.  [0.0] (and no counter
+    movement) when no injector is installed or the clause does not fire.
+    Lost IPIs never surface as errors — see [Kernel_error.EIPI_lost]. *)
+
 val ipi_broadcast_cost : t -> from_core:int -> float
 (** Cost charged to the initiating core for IPI-ing every other online core
-    (counts the IPIs in perf). *)
+    (counts the IPIs in perf, and includes any fault-injected
+    {!ipi_delivery_penalty_ns} when there is at least one remote core). *)
 
 val trace_ipis : t -> from_core:int -> unit
 (** When tracing is on, record one "ipi" instant on every remote core's

@@ -13,9 +13,12 @@ type t = {
   mutable tlb_flush_local : int;
   mutable tlb_flush_page : int;
   mutable ipis_sent : int;
+  mutable ipis_lost : int;
   mutable shootdown_broadcasts : int;
   mutable pins : int;
   mutable gc_cycles : int;
+  mutable swap_retries : int;
+  mutable swap_fallbacks : int;
   mutable alloc_waste_bytes : int;
   mutable alloc_bytes : int;
 }
@@ -36,9 +39,12 @@ let create () =
     tlb_flush_local = 0;
     tlb_flush_page = 0;
     ipis_sent = 0;
+    ipis_lost = 0;
     shootdown_broadcasts = 0;
     pins = 0;
     gc_cycles = 0;
+    swap_retries = 0;
+    swap_fallbacks = 0;
     alloc_waste_bytes = 0;
     alloc_bytes = 0;
   }
@@ -58,9 +64,12 @@ let reset t =
   t.tlb_flush_local <- 0;
   t.tlb_flush_page <- 0;
   t.ipis_sent <- 0;
+  t.ipis_lost <- 0;
   t.shootdown_broadcasts <- 0;
   t.pins <- 0;
   t.gc_cycles <- 0;
+  t.swap_retries <- 0;
+  t.swap_fallbacks <- 0;
   t.alloc_waste_bytes <- 0;
   t.alloc_bytes <- 0
 
@@ -80,9 +89,12 @@ let copy t =
     tlb_flush_local = t.tlb_flush_local;
     tlb_flush_page = t.tlb_flush_page;
     ipis_sent = t.ipis_sent;
+    ipis_lost = t.ipis_lost;
     shootdown_broadcasts = t.shootdown_broadcasts;
     pins = t.pins;
     gc_cycles = t.gc_cycles;
+    swap_retries = t.swap_retries;
+    swap_fallbacks = t.swap_fallbacks;
     alloc_waste_bytes = t.alloc_waste_bytes;
     alloc_bytes = t.alloc_bytes;
   }
@@ -103,9 +115,12 @@ let diff ~after ~before =
     tlb_flush_local = after.tlb_flush_local - before.tlb_flush_local;
     tlb_flush_page = after.tlb_flush_page - before.tlb_flush_page;
     ipis_sent = after.ipis_sent - before.ipis_sent;
+    ipis_lost = after.ipis_lost - before.ipis_lost;
     shootdown_broadcasts = after.shootdown_broadcasts - before.shootdown_broadcasts;
     pins = after.pins - before.pins;
     gc_cycles = after.gc_cycles - before.gc_cycles;
+    swap_retries = after.swap_retries - before.swap_retries;
+    swap_fallbacks = after.swap_fallbacks - before.swap_fallbacks;
     alloc_waste_bytes = after.alloc_waste_bytes - before.alloc_waste_bytes;
     alloc_bytes = after.alloc_bytes - before.alloc_bytes;
   }
@@ -126,9 +141,12 @@ let to_assoc t =
     ("tlb_flush_local", t.tlb_flush_local);
     ("tlb_flush_page", t.tlb_flush_page);
     ("ipis_sent", t.ipis_sent);
+    ("ipis_lost", t.ipis_lost);
     ("shootdown_broadcasts", t.shootdown_broadcasts);
     ("pins", t.pins);
     ("gc_cycles", t.gc_cycles);
+    ("swap_retries", t.swap_retries);
+    ("swap_fallbacks", t.swap_fallbacks);
     ("alloc_waste_bytes", t.alloc_waste_bytes);
     ("alloc_bytes", t.alloc_bytes);
   ]
@@ -137,10 +155,11 @@ let pp ppf t =
   Format.fprintf ppf
     "syscalls=%d swapva=%d memmove=%d ptes_swapped=%d walks=%d pmd_hits=%d \
      leaf_runs=%d coalesced=%d leaf_swaps=%d copied=%dB remapped=%dB \
-     flush_local=%d flush_page=%d ipis=%d broadcasts=%d pins=%d gcs=%d \
-     waste=%dB alloc=%dB"
+     flush_local=%d flush_page=%d ipis=%d ipis_lost=%d broadcasts=%d pins=%d \
+     gcs=%d retries=%d fallbacks=%d waste=%dB alloc=%dB"
     t.syscalls t.swapva_calls t.memmove_calls t.ptes_swapped t.pt_walks
     t.pmd_cache_hits t.leaf_runs t.runs_coalesced t.pmd_leaf_swaps
     t.bytes_copied t.bytes_remapped t.tlb_flush_local
-    t.tlb_flush_page t.ipis_sent t.shootdown_broadcasts t.pins t.gc_cycles
+    t.tlb_flush_page t.ipis_sent t.ipis_lost t.shootdown_broadcasts t.pins
+    t.gc_cycles t.swap_retries t.swap_fallbacks
     t.alloc_waste_bytes t.alloc_bytes

@@ -25,9 +25,18 @@ type t = {
   mutable tlb_flush_local : int;
   mutable tlb_flush_page : int;
   mutable ipis_sent : int;
+  mutable ipis_lost : int;
+      (** shootdown IPIs dropped by the fault-injection plane; each lost
+          IPI is detected via its missing ack and resent (also counted in
+          [ipis_sent]) *)
   mutable shootdown_broadcasts : int;
   mutable pins : int;
   mutable gc_cycles : int;
+  mutable swap_retries : int;
+      (** SwapVA requests re-issued after a transient [EAGAIN] fault *)
+  mutable swap_fallbacks : int;
+      (** SwapVA requests the GC abandoned and completed via memmove after
+          a degradable kernel error (see [Kernel_error.is_degradable]) *)
   mutable alloc_waste_bytes : int;  (** page-alignment fragmentation *)
   mutable alloc_bytes : int;
 }

@@ -8,6 +8,12 @@ module Memmove = Svagc_kernel.Memmove
 module Swapva = Svagc_kernel.Swapva
 module Swap_overlap = Svagc_kernel.Swap_overlap
 module Shootdown = Svagc_kernel.Shootdown
+module Kernel_error = Svagc_fault.Kernel_error
+
+(* Unwrap an overlap-swap result in tests that expect success. *)
+let overlap_exn = function
+  | Ok ns -> ns
+  | Error e -> Alcotest.failf "Swap_overlap: %s" (Kernel_error.to_string e)
 
 let qtest ?(count = 100) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
@@ -120,20 +126,54 @@ let test_swap_zero_copy () =
 let test_swap_validation () =
   let _, proc = fresh () in
   let _ = mapped_window proc ~pages:4 in
-  let check_invalid name f =
-    Alcotest.(check bool) name true (try f (); false with Invalid_argument _ -> true)
+  let check_error name expected f =
+    let got =
+      try
+        ignore (f ());
+        None
+      with Kernel_error.Fault_ns (e, spent) ->
+        Alcotest.(check bool) (name ^ ": failed call still costs time") true
+          (spent > 0.0);
+        Some e
+    in
+    Alcotest.(check (option (testable Kernel_error.pp Kernel_error.equal)))
+      name (Some expected) got
   in
-  check_invalid "unaligned" (fun () ->
-      ignore (Swapva.swap proc ~opts:opts_pinned ~src:(base + 1)
-                ~dst:(base + (2 * Addr.page_size)) ~pages:1));
-  check_invalid "zero pages" (fun () ->
-      ignore (Swapva.swap proc ~opts:opts_pinned ~src:base
-                ~dst:(base + (2 * Addr.page_size)) ~pages:0));
-  check_invalid "identical" (fun () ->
-      ignore (Swapva.swap proc ~opts:opts_pinned ~src:base ~dst:base ~pages:1));
-  check_invalid "unmapped" (fun () ->
-      ignore (Swapva.swap proc ~opts:opts_pinned ~src:base
-                ~dst:(base + (64 * Addr.page_size)) ~pages:4))
+  check_error "unaligned"
+    (Kernel_error.EINVAL_unaligned { va = base + 1 })
+    (fun () ->
+      Swapva.swap proc ~opts:opts_pinned ~src:(base + 1)
+        ~dst:(base + (2 * Addr.page_size)) ~pages:1);
+  check_error "zero pages"
+    (Kernel_error.EINVAL_bad_pages { pages = 0 })
+    (fun () ->
+      Swapva.swap proc ~opts:opts_pinned ~src:base
+        ~dst:(base + (2 * Addr.page_size)) ~pages:0);
+  check_error "identical" Kernel_error.EINVAL_identical (fun () ->
+      Swapva.swap proc ~opts:opts_pinned ~src:base ~dst:base ~pages:1);
+  check_error "unmapped"
+    (Kernel_error.EFAULT_unmapped { va = base + (64 * Addr.page_size) })
+    (fun () ->
+      Swapva.swap proc ~opts:opts_pinned ~src:base
+        ~dst:(base + (64 * Addr.page_size)) ~pages:4)
+
+let test_swap_result_reifies_errors () =
+  let _, proc = fresh () in
+  let _ = mapped_window proc ~pages:4 in
+  (match
+     Swapva.swap_result proc ~opts:opts_pinned ~src:base ~dst:base ~pages:1
+   with
+  | Ok _ -> Alcotest.fail "identical ranges must be rejected"
+  | Error (e, spent) ->
+    Alcotest.(check bool) "typed EINVAL" true
+      (Kernel_error.equal e Kernel_error.EINVAL_identical);
+    Alcotest.(check bool) "spent ns positive" true (spent > 0.0));
+  match
+    Swapva.swap_result proc ~opts:opts_pinned ~src:base
+      ~dst:(base + (2 * Addr.page_size)) ~pages:2
+  with
+  | Ok ns -> Alcotest.(check bool) "success cost" true (ns > 0.0)
+  | Error (e, _) -> Alcotest.failf "unexpected %s" (Kernel_error.to_string e)
 
 let test_swap_overlap_rejected_when_disallowed () =
   let _, proc = fresh () in
@@ -145,7 +185,7 @@ let test_swap_overlap_rejected_when_disallowed () =
          (Swapva.swap proc ~opts ~src:base ~dst:(base + (2 * Addr.page_size))
             ~pages:4);
        false
-     with Invalid_argument _ -> true)
+     with Kernel_error.Fault_ns (Kernel_error.EINVAL_overlap, _) -> true)
 
 let test_swap_invalidates_tlbs () =
   let machine, proc = fresh () in
@@ -186,8 +226,8 @@ let build_requests proc ~n ~pages =
 let test_aggregation_cheaper () =
   let _, proc = fresh () in
   let reqs = build_requests proc ~n:16 ~pages:4 in
-  let separated = Swapva.swap_separated proc ~opts:opts_pinned reqs in
-  let aggregated = Swapva.swap_aggregated proc ~opts:opts_pinned reqs in
+  let separated = (Swapva.swap_separated proc ~opts:opts_pinned reqs).Swapva.ns in
+  let aggregated = (Swapva.swap_aggregated proc ~opts:opts_pinned reqs).Swapva.ns in
   Alcotest.(check bool) "aggregated cheaper" true (aggregated < separated);
   (* The saving is (n-1) syscalls + (n-1) flushes. *)
   let cost = Cost_model.xeon_6130 in
@@ -199,7 +239,7 @@ let test_aggregation_cheaper () =
 let test_aggregated_empty_free () =
   let _, proc = fresh () in
   Alcotest.(check (float 1e-9)) "empty batch" 0.0
-    (Swapva.swap_aggregated proc ~opts:opts_pinned [])
+    (Swapva.swap_aggregated proc ~opts:opts_pinned []).Swapva.ns
 
 let test_pmd_caching_cheaper () =
   let run ~pmd_caching =
@@ -231,8 +271,9 @@ let test_overlap_rotation_simple () =
   let aspace = mapped_window proc ~pages:3 in
   (* pages=2, delta=1: window [A,B,C] -> [B,C,A]. *)
   ignore
-    (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:true ~src:base
-       ~dst:(base + Addr.page_size) ~pages:2);
+    (overlap_exn
+       (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:true ~src:base
+          ~dst:(base + Addr.page_size) ~pages:2));
   Alcotest.(check (list int)) "rotated"
     [ Char.code 'B'; Char.code 'C'; Char.code 'A' ]
     [ page_byte aspace 0; page_byte aspace 1; page_byte aspace 2 ]
@@ -247,8 +288,9 @@ let prop_overlap_matches_rotation =
       let aspace = mapped_window proc ~pages:total in
       let before = Array.init total (fun i -> page_byte aspace i) in
       ignore
-        (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:false ~src:base
-           ~dst:(base + (delta * Addr.page_size)) ~pages);
+        (overlap_exn
+           (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:false
+              ~src:base ~dst:(base + (delta * Addr.page_size)) ~pages));
       let after = Array.init total (fun i -> page_byte aspace i) in
       after = Swap_overlap.rotation_reference before ~delta)
 
@@ -258,25 +300,45 @@ let test_overlap_pte_moves_linear () =
   let _ = mapped_window proc ~pages:20 in
   let before = machine.Machine.perf.Perf.ptes_swapped in
   ignore
-    (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:false ~src:base
-       ~dst:(base + (4 * Addr.page_size)) ~pages:16);
+    (overlap_exn
+       (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:false ~src:base
+          ~dst:(base + (4 * Addr.page_size)) ~pages:16));
   Alcotest.(check int) "n + delta moves" 20
     (machine.Machine.perf.Perf.ptes_swapped - before)
 
 let test_overlap_validation () =
   let _, proc = fresh () in
   let _ = mapped_window proc ~pages:8 in
-  let invalid name f =
-    Alcotest.(check bool) name true (try f (); false with Invalid_argument _ -> true)
+  let geometry name result =
+    match result with
+    | Error (Kernel_error.EINVAL_geometry _) -> ()
+    | Error e -> Alcotest.failf "%s: wrong error %s" name (Kernel_error.to_string e)
+    | Ok _ -> Alcotest.failf "%s: accepted" name
   in
-  invalid "dst <= src" (fun () ->
-      ignore
-        (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:true
-           ~src:(base + Addr.page_size) ~dst:base ~pages:2));
-  invalid "no overlap" (fun () ->
-      ignore
-        (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:true ~src:base
-           ~dst:(base + (6 * Addr.page_size)) ~pages:2))
+  geometry "dst <= src"
+    (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:true
+       ~src:(base + Addr.page_size) ~dst:base ~pages:2);
+  geometry "no overlap"
+    (Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:true ~src:base
+       ~dst:(base + (6 * Addr.page_size)) ~pages:2);
+  (match
+     Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:true
+       ~src:(base + 3) ~dst:(base + Addr.page_size + 3) ~pages:2
+   with
+  | Error (Kernel_error.EINVAL_unaligned { va }) ->
+    Alcotest.(check int) "unaligned names the address" (base + 3) va
+  | Error e -> Alcotest.failf "wrong error %s" (Kernel_error.to_string e)
+  | Ok _ -> Alcotest.fail "unaligned accepted");
+  match
+    Swap_overlap.swap proc ~pmd_caching:true ~per_page_flush:false ~src:base
+      ~dst:(base + (6 * Addr.page_size)) ~pages:8
+  with
+  | Error (Kernel_error.EFAULT_unmapped { va }) ->
+    (* Window is 14 pages but only 8 are mapped: the first absent page is
+       named, and nothing was rotated (checked by the callers' tests). *)
+    Alcotest.(check int) "first absent page" (base + (8 * Addr.page_size)) va
+  | Error e -> Alcotest.failf "wrong error %s" (Kernel_error.to_string e)
+  | Ok _ -> Alcotest.fail "unmapped window accepted"
 
 let test_swapva_dispatches_overlap () =
   let machine, proc = fresh () in
@@ -388,16 +450,18 @@ let test_run_engine_unmapped_no_mutation () =
   in
   let c0 = src_csum () in
   let swapped0 = machine.Machine.perf.Perf.ptes_swapped in
-  let msg =
+  let err =
     try
       ignore
         (Swapva.swap_disjoint_run proc ~pmd_caching:true
            { Swapva.src = base; dst = base + (4 * Addr.page_size); pages = 4 });
-      "no exception"
-    with Invalid_argument m -> m
+      None
+    with Kernel_error.Fault e -> Some e
   in
-  Alcotest.(check string) "exact error"
-    "Swapva: range contains an unmapped page" msg;
+  Alcotest.(check (option (testable Kernel_error.pp Kernel_error.equal)))
+    "typed EFAULT naming the hole"
+    (Some (Kernel_error.EFAULT_unmapped { va = base + (6 * Addr.page_size) }))
+    err;
   Alcotest.(check int64) "no partial mutation" c0 (src_csum ());
   Alcotest.(check int) "no PTE exchanged" swapped0
     machine.Machine.perf.Perf.ptes_swapped
@@ -561,6 +625,8 @@ let () =
           Alcotest.test_case "involution" `Quick test_swap_is_involution;
           Alcotest.test_case "zero copy" `Quick test_swap_zero_copy;
           Alcotest.test_case "validation" `Quick test_swap_validation;
+          Alcotest.test_case "swap_result reifies errors" `Quick
+            test_swap_result_reifies_errors;
           Alcotest.test_case "overlap opt-in" `Quick
             test_swap_overlap_rejected_when_disallowed;
           Alcotest.test_case "TLB invalidation" `Quick test_swap_invalidates_tlbs;
