@@ -32,22 +32,42 @@ let list_cmd =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed suite / fewer steps.")
 
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Run with the svagc_check shadow oracle enabled: TLB coherence \
+           after every shootdown, perf-counter conservation laws, clock \
+           monotonicity and post-GC heap audits. Exits non-zero on any \
+           invariant violation.")
+
+let print_check_report rep =
+  Report.section "svagc_check report";
+  Format.printf "%a@." Svagc_check.Check.pp_report rep;
+  rep.Svagc_check.Check.findings <> []
+
+let run_experiment ~quick id =
+  if id = "all" then Registry.run_all ~quick ()
+  else
+    match Registry.find id with
+    | Some e -> e.Registry.run ~quick ()
+    | None ->
+      Printf.eprintf "unknown experiment %S (see `svagc list`)\n" id;
+      exit 1
+
 let exp_cmd =
   let doc = "Reproduce paper experiments by id (or 'all')." in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  let run quick ids =
-    List.iter
-      (fun id ->
-        if id = "all" then Registry.run_all ~quick ()
-        else
-          match Registry.find id with
-          | Some e -> e.Registry.run ~quick ()
-          | None ->
-            Printf.eprintf "unknown experiment %S (see `svagc list`)\n" id;
-            exit 1)
-      ids
+  let run quick check ids =
+    if check then Svagc_check.Check.enable ~label:(String.concat "+" ids) ();
+    List.iter (run_experiment ~quick) ids;
+    if check then
+      match Svagc_check.Check.disable () with
+      | Some rep -> if print_check_report rep then exit 1
+      | None -> ()
   in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ quick_arg $ ids)
+  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ quick_arg $ check_flag $ ids)
 
 let collector_conv =
   let parse = function
@@ -299,6 +319,97 @@ let trace_cmd =
       $ collector $ out $ capacity $ ascii $ no_coalesce_arg
       $ pmd_leaf_swap_arg $ fault_spec_arg $ fault_seed_arg)
 
+let check_cmd =
+  let doc =
+    "Run the shadow invariant oracle: the qcheck-style differential harness \
+     (per-page vs run-coalesced vs pmd-leaf SwapVA engines, rate-0 fault \
+     bit-identity), the work-steal scheduler laws, a traced workload with \
+     span-nesting checks, and oracle-enabled experiments. Exits non-zero on \
+     any finding."
+  in
+  let cases =
+    Arg.(
+      value & opt int 40
+      & info [ "cases" ] ~docv:"N" ~doc:"Differential schedules to replay.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0xC0FFEE
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Schedule-generator seed.")
+  in
+  let exps =
+    Arg.(
+      value
+      & opt_all string [ "fig6"; "fig9"; "table1" ]
+      & info [ "e"; "exp" ] ~docv:"ID"
+          ~doc:
+            "Experiment to run under the oracle (repeatable; defaults to \
+             fig6, fig9 and table1; pass $(b,all) for every registered \
+             experiment).")
+  in
+  let run cases seed exps quick =
+    let module Check = Svagc_check.Check in
+    let module Differential = Svagc_check.Differential in
+    let failed = ref false in
+    let stateless name (items, findings) =
+      Report.kv name
+        (Printf.sprintf "%d items, %d findings" items (List.length findings));
+      List.iter
+        (fun f ->
+          failed := true;
+          Format.printf "  %a@." Check.pp_finding f)
+        findings
+    in
+    Report.section "svagc_check: differential harness";
+    stateless "swap engines + rate-0"
+      (Differential.run_suite ~cases ~seed ());
+    Report.section "svagc_check: work-steal scheduler laws";
+    let rng = Svagc_util.Rng.create ~seed in
+    let random_costs n =
+      Array.init n (fun _ -> 10.0 +. Svagc_util.Rng.float rng *. 990.0)
+    in
+    List.iter
+      (fun (threads, costs, name) ->
+        stateless name (Check.work_steal_oracle ~threads costs))
+      [
+        (1, [||], "zero items, single thread");
+        (4, [||], "zero items, four threads");
+        (1, random_costs 25, "single thread");
+        (8, random_costs 3, "threads >> tasks");
+        (16, [| 100.0 |], "one task, many threads");
+        (3, random_costs 64, "three threads");
+        (7, Array.make 49 12.5, "equal costs");
+        (5, random_costs 200, "large random schedule");
+      ];
+    Report.section "svagc_check: oracle-enabled runs";
+    Check.enable ~label:(String.concat "+" exps) ();
+    (* A small traced workload exercises the span-nesting and trace
+       monotonicity oracles alongside the machine/heap ones. *)
+    let (), tracer =
+      Svagc_trace.Tracer.with_tracer (fun () ->
+          let workload = Svagc_workloads.Spec.find "fft.small" in
+          let machine =
+            Svagc_experiments.Exp_common.fresh_machine
+              Svagc_vmem.Cost_model.xeon_6130
+          in
+          let collector_of =
+            Svagc_experiments.Exp_common.collector_of
+              ~config:Svagc_core.Config.default
+              Svagc_experiments.Exp_common.Svagc
+          in
+          ignore (Runner.run ~heap_factor:1.2 ~steps:8 ~machine ~collector_of workload))
+    in
+    Svagc_check.Check.observe_tracer tracer;
+    List.iter (run_experiment ~quick) exps;
+    (match Svagc_check.Check.disable () with
+    | Some rep -> if print_check_report rep then failed := true
+    | None -> ());
+    if !failed then exit 1;
+    print_endline "svagc_check: all invariants hold"
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ cases $ seed $ exps $ quick_arg)
+
 let threshold_cmd =
   let doc = "Print the SwapVA/memmove break-even sweep (Fig. 10)." in
   Cmd.v (Cmd.info "threshold" ~doc)
@@ -307,6 +418,6 @@ let threshold_cmd =
 let main =
   let doc = "SVAGC: GC with scalable virtual-address swapping (simulation)" in
   Cmd.group (Cmd.info "svagc" ~version:"1.0.0" ~doc)
-    [ list_cmd; exp_cmd; bench_cmd; threshold_cmd; trace_cmd ]
+    [ list_cmd; exp_cmd; bench_cmd; threshold_cmd; trace_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -80,6 +80,16 @@ let run_gc t =
   (* Concurrent GC work (Shenandoah-style marking) steals app time. *)
   Clock.advance t.app_clock cycle.Gc_stats.concurrent_ns;
   Clock.advance t.app_clock (post_gc_app_penalty t);
+  (* Phase boundary for the shadow oracle: heap audit, cycle accounting,
+     TLB coherence and counter laws, plus clock-regression detection.  The
+     clock keys include the pid because JVM names repeat across runs while
+     each JVM's clocks restart at zero. *)
+  if Svagc_check.Check.enabled () then begin
+    let key tag = Printf.sprintf "%s#%d.%s" t.name (Process.pid t.proc) tag in
+    Svagc_check.Check.observe_clock ~key:(key "app") (app_ns t);
+    Svagc_check.Check.observe_clock ~key:(key "gc") (gc_ns t);
+    Svagc_check.Check.post_gc ~label:t.name t.heap cycle
+  end;
   cycle
 
 let tlab_for t thread =

@@ -46,27 +46,14 @@ let flush_after_swap machine ~asid ~core policy =
       +. Machine.ipi_broadcast_cost machine ~from_core:core
     | Process_targeted ->
       (* Remote cores only walk their own TLB for this asid: cheaper ack
-         path; modeled as 60% of a full IPI round trip. *)
+         path, modeled as 60% of a full IPI round trip.  Same costed
+         broadcast helper (and same counters — a targeted shootdown is
+         still one broadcast of [ncores - 1] IPIs; a lost IPI is resent at
+         full, not 0.6x, price). *)
       machine.Machine.perf.Perf.tlb_flush_local <-
         machine.Machine.perf.Perf.tlb_flush_local + 1;
-      let remote = machine.Machine.ncores - 1 in
-      machine.Machine.perf.Perf.ipis_sent <-
-        machine.Machine.perf.Perf.ipis_sent + remote;
-      Machine.trace_ipis machine ~from_core:core;
-      let broadcast =
-        if remote = 0 then 0.0
-        else
-          cost.Cost_model.ipi_ns
-          +. (float_of_int (remote - 1) *. cost.Cost_model.ipi_ack_ns)
-      in
-      (* The targeted flush sends its own IPIs, so it asks the fault plane
-         itself; a lost IPI is detected and resent at full (not 0.6×)
-         round-trip cost. *)
-      let penalty =
-        if remote = 0 then 0.0
-        else Machine.ipi_delivery_penalty_ns machine ~from_core:core
-      in
-      cost.Cost_model.tlb_flush_local_ns +. (0.6 *. broadcast) +. penalty
+      cost.Cost_model.tlb_flush_local_ns
+      +. Machine.ipi_broadcast_cost ~scale:0.6 machine ~from_core:core
     | Local_pinned ->
       machine.Machine.perf.Perf.tlb_flush_local <-
         machine.Machine.perf.Perf.tlb_flush_local + 1;
@@ -77,6 +64,7 @@ let flush_after_swap machine ~asid ~core policy =
       cost.Cost_model.tlb_flush_local_ns +. epoch_bump_ns
   in
   trace_flush ~core policy ns;
+  Machine.notify_shootdown machine ~asid;
   ns
 
 let cycle_prologue machine ~asid ~core policy =

@@ -1,9 +1,10 @@
 (* An owner/thief work deque: the owner pushes and pops at the tail, a
    thief takes from the head.  A head index into the backing vector makes
    the steal O(1) — the stolen slot is simply abandoned — where shifting
-   every element down would be O(n) per steal.  Abandoned slots are
-   reclaimed wholesale whenever the deque empties, so a deque never
-   retains more slots than the high-water mark of one seeding. *)
+   every element down would be O(n) per steal.  Abandoned slots release
+   their element immediately and are reclaimed wholesale whenever the
+   deque empties, so a deque never retains more slots than the high-water
+   mark of one seeding and never retains a stolen element. *)
 
 type 'a t = {
   vec : 'a Svagc_util.Vec.t;
@@ -36,6 +37,10 @@ let steal_front t =
   if is_empty t then None
   else begin
     let x = Svagc_util.Vec.get t.vec t.head in
+    (* The abandoned slot stays inside the vector until the deque drains:
+       release the element now so the victim does not retain every stolen
+       task until [reset_if_drained]. *)
+    Svagc_util.Vec.release t.vec t.head;
     t.head <- t.head + 1;
     reset_if_drained t;
     Some x

@@ -1,68 +1,86 @@
+(* The backing store is an [Obj.t array] rather than an ['a array] (the
+   stdlib [Dynarray] technique): slots vacated by [pop] / [clear] /
+   [release] must be overwritten so the host GC can reclaim the elements,
+   and no typed witness exists for every ['a].  Routing elements through
+   [Obj.repr] / [Obj.obj] provides a universal witness and guarantees the
+   store is never a flat float array, so the witness write is always a
+   plain pointer store. *)
+
 type 'a t = {
-  mutable data : 'a array;
+  mutable data : Obj.t array;
   mutable len : int;
 }
 
-(* There is no way to pre-size the backing [array] without a witness
-   element, so [capacity] is accepted for interface stability and the store
-   grows geometrically from the first [push]. *)
-let create ?capacity:_ () = { data = [||]; len = 0 }
+let dummy : Obj.t = Obj.repr ()
+
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Vec.create: negative capacity";
+  { data = Array.make capacity dummy; len = 0 }
 
 let length v = v.len
 
 let is_empty v = v.len = 0
 
-let grow v x =
+let grow v =
   let cap = Array.length v.data in
   let new_cap = if cap = 0 then 8 else cap * 2 in
-  let data = Array.make new_cap x in
+  let data = Array.make new_cap dummy in
   Array.blit v.data 0 data 0 v.len;
   v.data <- data
 
 let push v x =
-  if v.len = Array.length v.data then grow v x;
-  v.data.(v.len) <- x;
+  if v.len = Array.length v.data then grow v;
+  v.data.(v.len) <- Obj.repr x;
   v.len <- v.len + 1
 
 let pop v =
   if v.len = 0 then None
   else begin
-    v.len <- v.len - 1;
-    Some v.data.(v.len)
+    let n = v.len - 1 in
+    let x : 'a = Obj.obj v.data.(n) in
+    v.data.(n) <- dummy;
+    v.len <- n;
+    Some x
   end
 
 let check v i =
   if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
 
-let get v i =
+let get v i : 'a =
   check v i;
-  v.data.(i)
+  Obj.obj v.data.(i)
 
 let set v i x =
   check v i;
-  v.data.(i) <- x
+  v.data.(i) <- Obj.repr x
 
-let clear v = v.len <- 0
+let release v i =
+  check v i;
+  v.data.(i) <- dummy
+
+let clear v =
+  Array.fill v.data 0 v.len dummy;
+  v.len <- 0
 
 let iter f v =
   for i = 0 to v.len - 1 do
-    f v.data.(i)
+    f (Obj.obj v.data.(i) : 'a)
   done
 
 let iteri f v =
   for i = 0 to v.len - 1 do
-    f i v.data.(i)
+    f i (Obj.obj v.data.(i) : 'a)
   done
 
 let fold_left f acc v =
   let acc = ref acc in
   for i = 0 to v.len - 1 do
-    acc := f !acc v.data.(i)
+    acc := f !acc (Obj.obj v.data.(i) : 'a)
   done;
   !acc
 
 let exists p v =
-  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  let rec loop i = i < v.len && (p (Obj.obj v.data.(i) : 'a) || loop (i + 1)) in
   loop 0
 
 let for_all p v = not (exists (fun x -> not (p x)) v)
@@ -70,30 +88,34 @@ let for_all p v = not (exists (fun x -> not (p x)) v)
 let find_opt p v =
   let rec loop i =
     if i >= v.len then None
-    else if p v.data.(i) then Some v.data.(i)
-    else loop (i + 1)
+    else
+      let x : 'a = Obj.obj v.data.(i) in
+      if p x then Some x else loop (i + 1)
   in
   loop 0
 
 let to_list v =
-  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  let rec loop i acc =
+    if i < 0 then acc else loop (i - 1) ((Obj.obj v.data.(i) : 'a) :: acc)
+  in
   loop (v.len - 1) []
 
-let to_array v = Array.sub v.data 0 v.len
+let to_array v = Array.init v.len (fun i : 'a -> Obj.obj v.data.(i))
 
-let of_array a = { data = Array.copy a; len = Array.length a }
+let of_array a =
+  let len = Array.length a in
+  let data = Array.make len dummy in
+  for i = 0 to len - 1 do
+    data.(i) <- Obj.repr a.(i)
+  done;
+  { data; len }
 
 let of_list l = of_array (Array.of_list l)
 
 let map f v =
-  if v.len = 0 then { data = [||]; len = 0 }
-  else begin
-    let data = Array.make v.len (f v.data.(0)) in
-    for i = 0 to v.len - 1 do
-      data.(i) <- f v.data.(i)
-    done;
-    { data; len = v.len }
-  end
+  let out = create ~capacity:v.len () in
+  iter (fun x -> push out (f x)) v;
+  out
 
 let filter p v =
   let out = create () in
@@ -103,12 +125,13 @@ let filter p v =
 let remove_first p v =
   let n = v.len in
   let i = ref 0 in
-  while !i < n && not (p v.data.(!i)) do
+  while !i < n && not (p (Obj.obj v.data.(!i) : 'a)) do
     incr i
   done;
   if !i = n then false
   else begin
     Array.blit v.data (!i + 1) v.data !i (n - !i - 1);
+    v.data.(n - 1) <- dummy;
     v.len <- n - 1;
     true
   end
@@ -116,6 +139,9 @@ let remove_first p v =
 let sort cmp v =
   let a = to_array v in
   Array.sort cmp a;
-  Array.blit a 0 v.data 0 v.len
+  for i = 0 to v.len - 1 do
+    v.data.(i) <- Obj.repr a.(i)
+  done
 
-let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
+let last v : 'a option =
+  if v.len = 0 then None else Some (Obj.obj v.data.(v.len - 1))

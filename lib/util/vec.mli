@@ -7,6 +7,14 @@ type 'a t
 val create : ?capacity:int -> unit -> 'a t
 (** [create ()] is an empty vector.  [capacity] pre-sizes the backing store. *)
 
+val release : 'a t -> int -> unit
+(** [release v i] overwrites slot [i] with an internal witness so the
+    element becomes collectable by the host GC while the slot stays within
+    [length].  For containers that abandon live slots (e.g. the work
+    deque's stolen prefix); reading a released slot before overwriting it
+    again is a programming error.  @raise Invalid_argument if out of
+    bounds. *)
+
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool
@@ -15,7 +23,8 @@ val push : 'a t -> 'a -> unit
 (** [push v x] appends [x] at the end of [v]. *)
 
 val pop : 'a t -> 'a option
-(** [pop v] removes and returns the last element, or [None] if empty. *)
+(** [pop v] removes and returns the last element, or [None] if empty.  The
+    vacated slot no longer retains the element. *)
 
 val get : 'a t -> int -> 'a
 (** [get v i] is the [i]-th element.  @raise Invalid_argument if out of
@@ -26,7 +35,8 @@ val set : 'a t -> int -> 'a -> unit
     out of bounds. *)
 
 val clear : 'a t -> unit
-(** [clear v] removes every element (keeps the backing store). *)
+(** [clear v] removes every element (keeps the backing store's capacity but
+    releases every element for the host GC). *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 

@@ -4,8 +4,16 @@ type t = {
   pt : Page_table.t;
 }
 
+(* See [Machine.created_hook]: lets svagc_check learn about every address
+   space (asid -> live page table) without a dependency cycle. *)
+let created_hook : (t -> unit) option ref = ref None
+
 let create machine =
-  { machine; asid = Machine.fresh_asid machine; pt = Page_table.create () }
+  let t =
+    { machine; asid = Machine.fresh_asid machine; pt = Page_table.create () }
+  in
+  (match !created_hook with None -> () | Some f -> f t);
+  t
 
 let machine t = t.machine
 

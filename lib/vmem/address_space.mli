@@ -10,6 +10,10 @@ type t
 
 val create : Machine.t -> t
 
+val created_hook : (t -> unit) option ref
+(** Fired at the end of {!create}; installed by the svagc_check shadow
+    oracle while check mode is enabled (see [Machine.created_hook]). *)
+
 val machine : t -> Machine.t
 
 val asid : t -> int

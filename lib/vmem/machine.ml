@@ -15,21 +15,35 @@ type t = {
   mutable fault : Svagc_fault.Injector.t option;
 }
 
+(* Observation hooks for the shadow oracle (svagc_check).  The vmem layer
+   cannot depend on the checker, so the wiring is inverted: the checker
+   installs callbacks here while check mode is enabled.  [None] (the
+   default) costs one ref read on the hot paths. *)
+let created_hook : (t -> unit) option ref = ref None
+let shootdown_hook : (t -> asid:int -> unit) option ref = ref None
+
+let notify_shootdown t ~asid =
+  match !shootdown_hook with None -> () | Some f -> f t ~asid
+
 let create ?ncores ?(phys_mib = 512) (cost : Cost_model.t) =
   let ncores = match ncores with Some n -> n | None -> cost.ncores in
   if ncores <= 0 then invalid_arg "Machine.create: ncores must be positive";
   let frames = phys_mib * 1024 * 1024 / Addr.page_size in
-  {
-    cost;
-    ncores;
-    cores = Array.init ncores (fun core_id -> { core_id; tlb = Tlb.create () });
-    phys = Phys_mem.create ~frames;
-    perf = Perf.create ();
-    llc = Cache_sim.create ();
-    copy_streams = 1;
-    next_asid = 1;
-    fault = None;
-  }
+  let t =
+    {
+      cost;
+      ncores;
+      cores = Array.init ncores (fun core_id -> { core_id; tlb = Tlb.create () });
+      phys = Phys_mem.create ~frames;
+      perf = Perf.create ();
+      llc = Cache_sim.create ();
+      copy_streams = 1;
+      next_asid = 1;
+      fault = None;
+    }
+  in
+  (match !created_hook with None -> () | Some f -> f t);
+  t
 
 let core t i =
   if i < 0 || i >= t.ncores then invalid_arg "Machine.core: no such core";
@@ -78,18 +92,20 @@ let ipi_delivery_penalty_ns t ~from_core =
     end
     else 0.0
 
-let ipi_broadcast_cost t ~from_core =
+let ipi_broadcast_cost ?(scale = 1.0) t ~from_core =
   (* Sends go out in parallel: the initiator pays one delivery latency
      plus an ack-gathering cost per remote core, not a serial round trip
-     per core. *)
+     per core.  [scale] discounts only the broadcast term (the kernel's
+     process-targeted flush acks at 60% of a full round trip); a
+     fault-injected lost IPI is always resent at full price. *)
   let remote = t.ncores - 1 in
   t.perf.ipis_sent <- t.perf.ipis_sent + remote;
   t.perf.shootdown_broadcasts <- t.perf.shootdown_broadcasts + 1;
   trace_ipis t ~from_core;
   if remote = 0 then 0.0
   else
-    t.cost.ipi_ns
-    +. (float_of_int (remote - 1) *. t.cost.ipi_ack_ns)
+    scale
+    *. (t.cost.ipi_ns +. (float_of_int (remote - 1) *. t.cost.ipi_ack_ns))
     +. ipi_delivery_penalty_ns t ~from_core
 
 let flush_tlb_local t ~asid ~core =
@@ -99,5 +115,11 @@ let flush_tlb_local t ~asid ~core =
 
 let flush_tlb_all_cores t ~asid ~from_core =
   Array.iter (fun c -> Tlb.flush_asid c.tlb ~asid) t.cores;
-  t.perf.tlb_flush_local <- t.perf.tlb_flush_local + 1;
-  t.cost.tlb_flush_local_ns +. ipi_broadcast_cost t ~from_core
+  (* One local-flush event per core actually flushed (every core walks its
+     own TLB when the IPI lands) plus one machine-wide event — the Eq. 2
+     bookkeeping the shadow oracle cross-checks. *)
+  t.perf.tlb_flush_local <- t.perf.tlb_flush_local + t.ncores;
+  t.perf.tlb_flush_all <- t.perf.tlb_flush_all + 1;
+  let ns = t.cost.tlb_flush_local_ns +. ipi_broadcast_cost t ~from_core in
+  notify_shootdown t ~asid;
+  ns

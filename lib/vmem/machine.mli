@@ -48,20 +48,43 @@ val ipi_delivery_penalty_ns : t -> from_core:int -> float
     movement) when no injector is installed or the clause does not fire.
     Lost IPIs never surface as errors — see [Kernel_error.EIPI_lost]. *)
 
-val ipi_broadcast_cost : t -> from_core:int -> float
+val ipi_broadcast_cost : ?scale:float -> t -> from_core:int -> float
 (** Cost charged to the initiating core for IPI-ing every other online core
-    (counts the IPIs in perf, and includes any fault-injected
-    {!ipi_delivery_penalty_ns} when there is at least one remote core). *)
+    (counts the IPIs and the broadcast in perf, and includes any
+    fault-injected {!ipi_delivery_penalty_ns} when there is at least one
+    remote core).  [scale] (default 1.0) discounts the broadcast term only
+    — the kernel's process-targeted shootdown acks at 60% of a full round
+    trip — never the lost-IPI resend penalty.  This is the single costed
+    IPI-broadcast helper; every shootdown flavor must route through it so
+    counters cannot drift from costs. *)
 
 val trace_ipis : t -> from_core:int -> unit
 (** When tracing is on, record one "ipi" instant on every remote core's
-    track.  Called by {!ipi_broadcast_cost}; the kernel's targeted-flush
-    path (which counts its IPIs itself) calls it directly. *)
+    track.  Called by {!ipi_broadcast_cost}. *)
 
 val flush_tlb_all_cores : t -> asid:int -> from_core:int -> float
 (** The paper's [flush_tlb_all_cores(pid)]: invalidates the process's
     entries in every core's TLB and returns the initiator-side cost
-    (local flush + one IPI per remote core). *)
+    (local flush + one IPI per remote core).  Counts one
+    [perf.tlb_flush_local] event per core flushed plus one
+    [perf.tlb_flush_all] event, and fires {!shootdown_hook}. *)
 
 val flush_tlb_local : t -> asid:int -> core:int -> float
 (** Local-only flush of the process's entries on [core]. *)
+
+(** {2 Shadow-oracle observation hooks}
+
+    Installed by [svagc_check] while check mode is enabled; [None]
+    otherwise.  The vmem layer cannot depend on the checker, so the wiring
+    is inverted through these refs. *)
+
+val created_hook : (t -> unit) option ref
+(** Fired at the end of {!create} with the new machine. *)
+
+val shootdown_hook : (t -> asid:int -> unit) option ref
+(** Fired after a completed shootdown (every core's TLB already
+    invalidated for [asid]) by {!flush_tlb_all_cores} and by the kernel's
+    [Shootdown.flush_after_swap]. *)
+
+val notify_shootdown : t -> asid:int -> unit
+(** Invoke {!shootdown_hook} if installed (kernel-side entry point). *)

@@ -12,6 +12,7 @@ type t = {
   mutable bytes_remapped : int;
   mutable tlb_flush_local : int;
   mutable tlb_flush_page : int;
+  mutable tlb_flush_all : int;
   mutable ipis_sent : int;
   mutable ipis_lost : int;
   mutable shootdown_broadcasts : int;
@@ -38,6 +39,7 @@ let create () =
     bytes_remapped = 0;
     tlb_flush_local = 0;
     tlb_flush_page = 0;
+    tlb_flush_all = 0;
     ipis_sent = 0;
     ipis_lost = 0;
     shootdown_broadcasts = 0;
@@ -63,6 +65,7 @@ let reset t =
   t.bytes_remapped <- 0;
   t.tlb_flush_local <- 0;
   t.tlb_flush_page <- 0;
+  t.tlb_flush_all <- 0;
   t.ipis_sent <- 0;
   t.ipis_lost <- 0;
   t.shootdown_broadcasts <- 0;
@@ -88,6 +91,7 @@ let copy t =
     bytes_remapped = t.bytes_remapped;
     tlb_flush_local = t.tlb_flush_local;
     tlb_flush_page = t.tlb_flush_page;
+    tlb_flush_all = t.tlb_flush_all;
     ipis_sent = t.ipis_sent;
     ipis_lost = t.ipis_lost;
     shootdown_broadcasts = t.shootdown_broadcasts;
@@ -114,6 +118,7 @@ let diff ~after ~before =
     bytes_remapped = after.bytes_remapped - before.bytes_remapped;
     tlb_flush_local = after.tlb_flush_local - before.tlb_flush_local;
     tlb_flush_page = after.tlb_flush_page - before.tlb_flush_page;
+    tlb_flush_all = after.tlb_flush_all - before.tlb_flush_all;
     ipis_sent = after.ipis_sent - before.ipis_sent;
     ipis_lost = after.ipis_lost - before.ipis_lost;
     shootdown_broadcasts = after.shootdown_broadcasts - before.shootdown_broadcasts;
@@ -140,6 +145,7 @@ let to_assoc t =
     ("bytes_remapped", t.bytes_remapped);
     ("tlb_flush_local", t.tlb_flush_local);
     ("tlb_flush_page", t.tlb_flush_page);
+    ("tlb_flush_all", t.tlb_flush_all);
     ("ipis_sent", t.ipis_sent);
     ("ipis_lost", t.ipis_lost);
     ("shootdown_broadcasts", t.shootdown_broadcasts);
@@ -155,11 +161,11 @@ let pp ppf t =
   Format.fprintf ppf
     "syscalls=%d swapva=%d memmove=%d ptes_swapped=%d walks=%d pmd_hits=%d \
      leaf_runs=%d coalesced=%d leaf_swaps=%d copied=%dB remapped=%dB \
-     flush_local=%d flush_page=%d ipis=%d ipis_lost=%d broadcasts=%d pins=%d \
+     flush_local=%d flush_page=%d flush_all=%d ipis=%d ipis_lost=%d broadcasts=%d pins=%d \
      gcs=%d retries=%d fallbacks=%d waste=%dB alloc=%dB"
     t.syscalls t.swapva_calls t.memmove_calls t.ptes_swapped t.pt_walks
     t.pmd_cache_hits t.leaf_runs t.runs_coalesced t.pmd_leaf_swaps
     t.bytes_copied t.bytes_remapped t.tlb_flush_local
-    t.tlb_flush_page t.ipis_sent t.ipis_lost t.shootdown_broadcasts t.pins
+    t.tlb_flush_page t.tlb_flush_all t.ipis_sent t.ipis_lost t.shootdown_broadcasts t.pins
     t.gc_cycles t.swap_retries t.swap_fallbacks
     t.alloc_waste_bytes t.alloc_bytes

@@ -24,6 +24,10 @@ type t = {
   mutable bytes_remapped : int;  (** logically moved by SwapVA *)
   mutable tlb_flush_local : int;
   mutable tlb_flush_page : int;
+  mutable tlb_flush_all : int;
+      (** machine-wide [flush_tlb_all_cores] shootdowns; each one also
+          counts [ncores] events in [tlb_flush_local] (one per core
+          actually flushed) *)
   mutable ipis_sent : int;
   mutable ipis_lost : int;
       (** shootdown IPIs dropped by the fault-injection plane; each lost

@@ -71,6 +71,10 @@ let insert t ~asid ~vpn ~frame =
 
 let iter_entries t f = Array.iter (fun set -> Array.iter f set) t.sets
 
+let iter_valid t f =
+  iter_entries t (fun e ->
+      if e.valid then f ~asid:e.asid ~vpn:e.vpn ~frame:e.frame)
+
 let flush_all t =
   t.st.flushes_full <- t.st.flushes_full + 1;
   iter_entries t (fun e -> e.valid <- false)

@@ -27,6 +27,10 @@ val flush_asid : t -> asid:int -> unit
 
 val flush_page : t -> asid:int -> vpn:int -> unit
 
+val iter_valid : t -> (asid:int -> vpn:int -> frame:int -> unit) -> unit
+(** Walk every valid entry without touching recency, hit/miss stats or the
+    entry order — the read path of the svagc_check TLB coherence oracle. *)
+
 val stats : t -> stats
 
 val reset_stats : t -> unit

@@ -429,7 +429,8 @@ let test_perf_copy_is_snapshot () =
         ("ptes_swapped", 0); ("pt_walks", 0); ("pmd_cache_hits", 0);
         ("leaf_runs", 0); ("runs_coalesced", 0); ("pmd_leaf_swaps", 0);
         ("bytes_copied", 4096); ("bytes_remapped", 0); ("tlb_flush_local", 0);
-        ("tlb_flush_page", 0); ("ipis_sent", 7); ("ipis_lost", 0);
+        ("tlb_flush_page", 0); ("tlb_flush_all", 0); ("ipis_sent", 7);
+        ("ipis_lost", 0);
         ("shootdown_broadcasts", 0); ("pins", 0); ("gc_cycles", 0);
         ("swap_retries", 0); ("swap_fallbacks", 0); ("alloc_waste_bytes", 0);
         ("alloc_bytes", 1 lsl 20);
@@ -470,8 +471,8 @@ let test_perf_diff_self_is_zero () =
 
 let test_perf_to_assoc_covers_all_counters () =
   let names = List.map fst (Perf.to_assoc (Perf.create ())) in
-  Alcotest.(check int) "22 counters" 22 (List.length names);
-  Alcotest.(check int) "no duplicate names" 22
+  Alcotest.(check int) "23 counters" 23 (List.length names);
+  Alcotest.(check int) "no duplicate names" 23
     (List.length (List.sort_uniq compare names))
 
 let () =
