@@ -109,8 +109,9 @@ let fault_spec_arg =
            $(b,pte:p=0.01,lock:p=0.005,ipi:every=64) or \
            $(b,pte:p=0.1:va=0x100000000-0x140000000). Sites: $(b,pte) \
            (PTE resolution, EFAULT), $(b,lock) (mmap-lock acquisition, \
-           EAGAIN), $(b,ipi) (shootdown IPI delivery, lost + resent). \
-           Empty disables injection.")
+           EAGAIN), $(b,ipi) (shootdown IPI delivery, lost + resent), \
+           $(b,swap) (swap-device I/O, EIO with bounded retry). Empty \
+           disables injection.")
 
 let fault_seed_arg =
   Arg.(
@@ -120,6 +121,28 @@ let fault_seed_arg =
           "Seed for the fault-injection PRNG streams; the same spec and \
            seed replay the same faults byte-for-byte.")
 
+let mem_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-limit-frames" ] ~docv:"N"
+        ~doc:
+          "Cap resident physical frames at N, attaching the kswapd-style \
+           reclaim plane: cold pages are evicted to the simulated swap \
+           device and fault back in on first touch as charged major \
+           faults. Default: unlimited (no reclaim plane, bit-identical to \
+           builds without one).")
+
+let swap_cost_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "swap-cost" ] ~docv:"NS"
+        ~doc:
+          "Override both simulated swap-device latencies (swap-out and \
+           swap-in) with NS nanoseconds per page transfer. Only \
+           meaningful together with $(b,--mem-limit-frames).")
+
 let parse_fault_spec spec =
   match Svagc_fault.Fault_spec.parse spec with
   | Ok s -> s
@@ -127,14 +150,30 @@ let parse_fault_spec spec =
     Printf.eprintf "--fault-spec: %s\n" msg;
     exit 1
 
-let svagc_config ~no_coalesce ~pmd_leaf_swap ~fault_spec ~fault_seed =
+let svagc_config ~no_coalesce ~pmd_leaf_swap ~fault_spec ~fault_seed
+    ~mem_limit_frames ~swap_cost_ns =
   {
     Svagc_core.Config.default with
     Svagc_core.Config.coalesce_runs = not no_coalesce;
     pmd_leaf_swap;
     fault_spec = parse_fault_spec fault_spec;
     fault_seed;
+    mem_limit_frames;
+    swap_cost_ns;
   }
+
+(* Arm memory pressure on a freshly created machine, ahead of any JVM, so
+   heap pages are LRU-tracked from the first mapping.  The Move_object
+   prologue would also attach lazily via the config, but only once the
+   first SwapVA collection runs — too late for baseline collectors. *)
+let attach_reclaim machine ~mem_limit_frames ~swap_cost_ns =
+  match mem_limit_frames with
+  | Some limit_frames ->
+    if not (Svagc_kernel.Fault_handler.attached machine) then
+      ignore
+        (Svagc_kernel.Fault_handler.attach machine ~limit_frames
+           ?swap_cost_ns ())
+  | None -> ()
 
 let bench_cmd =
   let doc = "Run one workload under one or more collectors." in
@@ -157,7 +196,7 @@ let bench_cmd =
   in
   let steps = Arg.(value & opt int 60 & info [ "steps" ] ~doc:"Mutator steps.") in
   let run workload_name collectors heap_factor steps no_coalesce pmd_leaf_swap
-      fault_spec fault_seed =
+      fault_spec fault_seed mem_limit_frames swap_cost_ns =
     let workload =
       try Svagc_workloads.Spec.find workload_name
       with Not_found ->
@@ -166,6 +205,7 @@ let bench_cmd =
     in
     let config =
       svagc_config ~no_coalesce ~pmd_leaf_swap ~fault_spec ~fault_seed
+        ~mem_limit_frames ~swap_cost_ns
     in
     Report.section (Printf.sprintf "%s @ %.1fx min heap" workload_name heap_factor);
     List.iter
@@ -173,6 +213,7 @@ let bench_cmd =
         let machine =
           Svagc_experiments.Exp_common.fresh_machine Svagc_vmem.Cost_model.xeon_6130
         in
+        attach_reclaim machine ~mem_limit_frames ~swap_cost_ns;
         let r =
           Runner.run ~heap_factor ~steps ~machine
             ~collector_of:(Svagc_experiments.Exp_common.collector_of ~config kind)
@@ -187,13 +228,24 @@ let bench_cmd =
           (Report.ns r.Runner.summary.Svagc_gc.Gc_stats.avg_pause_ns);
         Report.kv "max pause"
           (Report.ns r.Runner.summary.Svagc_gc.Gc_stats.max_pause_ns);
-        Report.kv "throughput" (Printf.sprintf "%.3f steps/ms" r.Runner.throughput))
+        Report.kv "throughput" (Printf.sprintf "%.3f steps/ms" r.Runner.throughput);
+        match mem_limit_frames with
+        | None -> ()
+        | Some _ ->
+          let perf = machine.Svagc_vmem.Machine.perf in
+          Report.kv "major faults"
+            (string_of_int perf.Svagc_vmem.Perf.major_faults);
+          Report.kv "pages swapped out"
+            (string_of_int perf.Svagc_vmem.Perf.pages_swapped_out);
+          Report.kv "pages swapped in"
+            (string_of_int perf.Svagc_vmem.Perf.pages_swapped_in))
       collectors
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
       const run $ workload_arg $ collectors $ heap_factor $ steps
-      $ no_coalesce_arg $ pmd_leaf_swap_arg $ fault_spec_arg $ fault_seed_arg)
+      $ no_coalesce_arg $ pmd_leaf_swap_arg $ fault_spec_arg $ fault_seed_arg
+      $ mem_limit_arg $ swap_cost_arg)
 
 let trace_cmd =
   let doc =
@@ -246,7 +298,8 @@ let trace_cmd =
     Arg.(value & flag & info [ "ascii" ] ~doc:"Also print an ASCII timeline.")
   in
   let run workload_name exp_id jvms steps heap_factor collector out capacity
-      ascii no_coalesce pmd_leaf_swap fault_spec fault_seed =
+      ascii no_coalesce pmd_leaf_swap fault_spec fault_seed mem_limit_frames
+      swap_cost_ns =
     let module Tracer = Svagc_trace.Tracer in
     let module Machine = Svagc_vmem.Machine in
     if capacity <= 0 then begin
@@ -278,17 +331,21 @@ let trace_cmd =
           Svagc_vmem.Perf.to_assoc machine.Machine.perf);
       let config =
         svagc_config ~no_coalesce ~pmd_leaf_swap ~fault_spec ~fault_seed
+          ~mem_limit_frames ~swap_cost_ns
       in
       let collector_of =
         Svagc_experiments.Exp_common.collector_of ~config collector
       in
-      if jvms <= 1 then
+      if jvms <= 1 then begin
+        attach_reclaim machine ~mem_limit_frames ~swap_cost_ns;
         ignore
           (Runner.run ~heap_factor ~steps ~machine ~collector_of workload)
+      end
       else begin
         let steppers = Array.make jvms (fun () -> ()) in
         let multi =
-          Svagc_core.Multi_jvm.create machine ~instances:jvms
+          Svagc_core.Multi_jvm.create ?mem_limit_frames ?swap_cost_ns machine
+            ~instances:jvms
             ~spawn:(fun ~index machine ->
               let jvm =
                 Runner.make_jvm ~heap_factor ~machine ~collector_of workload
@@ -317,7 +374,8 @@ let trace_cmd =
     Term.(
       const run $ workload_arg $ exp_arg $ jvms_arg $ steps $ heap_factor
       $ collector $ out $ capacity $ ascii $ no_coalesce_arg
-      $ pmd_leaf_swap_arg $ fault_spec_arg $ fault_seed_arg)
+      $ pmd_leaf_swap_arg $ fault_spec_arg $ fault_seed_arg $ mem_limit_arg
+      $ swap_cost_arg)
 
 let check_cmd =
   let doc =

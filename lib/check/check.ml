@@ -138,7 +138,72 @@ let counter_laws machine =
     (p.Perf.ptes_swapped >= 2 * p.Perf.pmd_leaf_swaps)
     "ptes_swapped = %d < 2 * pmd_leaf_swaps = %d" p.Perf.ptes_swapped
     (2 * p.Perf.pmd_leaf_swaps);
+  (* Reclaim accounting: a page can only come back in after going out, and
+     every swap-in rode a major fault (faults are counted on entry, so a
+     fault that then failed with EIO still counts). *)
+  law a "counter-law"
+    (p.Perf.pages_swapped_in <= p.Perf.pages_swapped_out)
+    "pages_swapped_in = %d exceeds pages_swapped_out = %d"
+    p.Perf.pages_swapped_in p.Perf.pages_swapped_out;
+  law a "counter-law"
+    (p.Perf.major_faults >= p.Perf.pages_swapped_in)
+    "major_faults = %d < pages_swapped_in = %d" p.Perf.major_faults
+    p.Perf.pages_swapped_in;
   result a
+
+(* --- reclaim conservation laws --- *)
+
+(* Run only while a reclaim plane is attached.  [tables] must cover every
+   address space of the machine (shadow mode registers them at creation),
+   because the slot-leak and frame-conservation laws are global sums. *)
+let reclaim_laws machine ~tables =
+  let a = acc () in
+  match machine.Machine.reclaim with
+  | None -> result a
+  | Some r ->
+    let slot_owner = Hashtbl.create 64 in
+    let swapped_total = ref 0 in
+    let present_total = ref 0 in
+    List.iter
+      (fun (asid, pt) ->
+        Page_table.iter_mapped pt ~f:(fun ~vpn:_ ~frame:_ -> incr present_total);
+        Page_table.iter_swapped pt ~f:(fun ~vpn ~slot ->
+            incr swapped_total;
+            law a "reclaim-slot"
+              (r.Machine.ri_slot_allocated ~slot)
+              "asid %d vpn %d references swap slot %d, which is not allocated"
+              asid vpn slot;
+            match Hashtbl.find_opt slot_owner slot with
+            | Some (asid0, vpn0) ->
+              law a "reclaim-slot" false
+                "swap slot %d referenced by both asid %d vpn %d and asid %d \
+                 vpn %d"
+                slot asid0 vpn0 asid vpn
+            | None ->
+              a.items <- a.items + 1;
+              Hashtbl.add slot_owner slot (asid, vpn)))
+      tables;
+    (* Slot leak: the device holds exactly one slot per swapped PTE. *)
+    law a "reclaim-leak"
+      (r.Machine.ri_slots_in_use () = !swapped_total)
+      "swap device holds %d slots but the page tables reference %d"
+      (r.Machine.ri_slots_in_use ())
+      !swapped_total;
+    (* Conservation: every resident frame is owned by exactly one present
+       PTE, so resident + swapped accounts for every mapped page. *)
+    law a "reclaim-conservation"
+      (Phys_mem.frames_in_use machine.Machine.phys = !present_total)
+      "machine has %d resident frames but the page tables hold %d present \
+       PTEs"
+      (Phys_mem.frames_in_use machine.Machine.phys)
+      !present_total;
+    law a "reclaim-watermark"
+      (Phys_mem.frames_in_use machine.Machine.phys
+      <= Phys_mem.capacity_frames machine.Machine.phys)
+      "resident frames %d exceed physical capacity %d"
+      (Phys_mem.frames_in_use machine.Machine.phys)
+      (Phys_mem.capacity_frames machine.Machine.phys);
+    result a
 
 (* --- GC cycle accounting --- *)
 
@@ -484,7 +549,9 @@ let post_gc ?(label = "gc") heap cycle =
     fold s (cycle_laws ~label cycle);
     fold s (heap_invariants ~label heap);
     fold s (tlb_coherence machine ~tables:st.tables);
-    fold s (counter_laws machine)
+    fold s (counter_laws machine);
+    if machine.Machine.reclaim <> None then
+      fold s (reclaim_laws machine ~tables:st.tables)
 
 let observe_tracer tracer =
   match !shadow with

@@ -63,8 +63,23 @@ val counter_laws : Svagc_vmem.Machine.t -> int * finding list
 (** Conservation laws over the machine's perf counters: all counters
     non-negative, [ipis_sent = shootdown_broadcasts * (ncores-1) +
     ipis_lost], [swapva_calls <= syscalls], [bytes_remapped] page-sized,
-    [tlb_flush_local >= ncores * tlb_flush_all], and
-    [ptes_swapped >= 2 * pmd_leaf_swaps]. *)
+    [tlb_flush_local >= ncores * tlb_flush_all],
+    [ptes_swapped >= 2 * pmd_leaf_swaps],
+    [pages_swapped_in <= pages_swapped_out], and
+    [major_faults >= pages_swapped_in]. *)
+
+val reclaim_laws :
+  Svagc_vmem.Machine.t ->
+  tables:(int * Svagc_vmem.Page_table.t) list ->
+  int * finding list
+(** Memory-pressure conservation, evaluated only while the machine has a
+    reclaim plane attached (trivially passes otherwise): every swapped
+    PTE's slot is allocated on the swap device and referenced by exactly
+    one PTE; the device holds exactly as many slots as there are swapped
+    PTEs (slot-leak detection); and the machine's resident frame count
+    equals the total present-PTE count over [tables] (every frame owned by
+    exactly one page).  [tables] must cover all the machine's address
+    spaces — shadow mode registers them at creation. *)
 
 val cycle_laws : ?label:string -> Svagc_gc.Gc_stats.cycle -> int * finding list
 (** Per-cycle accounting: phase times non-negative,
@@ -113,8 +128,9 @@ val observe_clock : key:string -> float -> unit
 val post_gc :
   ?label:string -> Svagc_heap.Heap.t -> Svagc_gc.Gc_stats.cycle -> unit
 (** Phase-boundary assertion for the end of a GC cycle: cycle laws, heap
-    audit, TLB coherence and counter laws on the heap's machine.  Called
-    by [Jvm.run_gc]; no-op when shadow mode is off. *)
+    audit, TLB coherence and counter laws on the heap's machine, plus
+    {!reclaim_laws} when a reclaim plane is attached.  Called by
+    [Jvm.run_gc]; no-op when shadow mode is off. *)
 
 val observe_tracer : Svagc_trace.Tracer.t -> unit
 (** Fold a {!trace_wellformed} pass over a (stopped or running) tracer

@@ -13,6 +13,8 @@ type t = {
   gc_threads : int;
   fault_spec : Svagc_fault.Fault_spec.t;
   fault_seed : int;
+  mem_limit_frames : int option;
+  swap_cost_ns : float option;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     gc_threads = 4;
     fault_spec = Svagc_fault.Fault_spec.empty;
     fault_seed = 0;
+    mem_limit_frames = None;
+    swap_cost_ns = None;
   }
 
 let unoptimized =
@@ -45,12 +49,20 @@ let unoptimized =
     gc_threads = 4;
     fault_spec = Svagc_fault.Fault_spec.empty;
     fault_seed = 0;
+    mem_limit_frames = None;
+    swap_cost_ns = None;
   }
 
 let validate t =
   if t.threshold_pages <= 0 then invalid_arg "Config: threshold must be positive";
   if t.aggregation_batch <= 0 then invalid_arg "Config: batch must be positive";
   if t.gc_threads <= 0 then invalid_arg "Config: gc_threads must be positive";
+  (match t.mem_limit_frames with
+  | Some n when n <= 0 -> invalid_arg "Config: mem_limit_frames must be positive"
+  | _ -> ());
+  (match t.swap_cost_ns with
+  | Some ns when ns < 0.0 -> invalid_arg "Config: swap_cost_ns must be non-negative"
+  | _ -> ());
   match t.flush with
   | Shootdown.Local_pinned when not t.pin_compaction ->
     invalid_arg
@@ -70,4 +82,10 @@ let pp ppf t =
     (fun ppf ->
       if not (Svagc_fault.Fault_spec.is_empty t.fault_spec) then
         Format.fprintf ppf " fault=%a seed=%d" Svagc_fault.Fault_spec.pp
-          t.fault_spec t.fault_seed)
+          t.fault_spec t.fault_seed;
+      (match t.mem_limit_frames with
+      | Some n -> Format.fprintf ppf " mem_limit=%df" n
+      | None -> ());
+      match t.swap_cost_ns with
+      | Some ns -> Format.fprintf ppf " swap_cost=%gns" ns
+      | None -> ())

@@ -80,6 +80,19 @@ let run_gc t =
   (* Concurrent GC work (Shenandoah-style marking) steals app time. *)
   Clock.advance t.app_clock cycle.Gc_stats.concurrent_ns;
   Clock.advance t.app_clock (post_gc_app_penalty t);
+  (* Under memory pressure: compaction may have exchanged present and
+     swapped PTEs, so resynchronize the reclaim plane's per-va LRU
+     tracking with the page table, and charge any reclaim cost the cycle
+     accumulated outside the memmove path (fault-ins during marking,
+     evictions during allocation inside the pause) to the GC clock. *)
+  (match (machine t).Machine.reclaim with
+  | None -> ()
+  | Some r ->
+    let aspace = Process.aspace t.proc in
+    r.Machine.ri_adopt
+      ~pt:(Address_space.page_table aspace)
+      ~asid:(Address_space.asid aspace);
+    Clock.advance t.gc_clock (r.Machine.ri_drain_ns ()));
   (* Phase boundary for the shadow oracle: heap audit, cycle accounting,
      TLB coherence and counter laws, plus clock-regression detection.  The
      clock keys include the pid because JVM names repeat across runs while
@@ -107,21 +120,35 @@ let alloc_once t ~thread ~size ~n_refs ~cls =
 
 let alloc_cost_ns = 25.0 (* bump pointer + header initialization *)
 
+(* Reclaim work triggered by mutator activity (mapping fresh TLAB pages
+   over the limit, demand-faulting swapped pages on touch) bills the
+   application clock — a real mutator stalls in the page-fault handler. *)
+let drain_reclaim_app t =
+  match (Process.machine t.proc).Machine.reclaim with
+  | None -> ()
+  | Some r -> Clock.advance t.app_clock (r.Machine.ri_drain_ns ())
+
 let alloc ?thread t ~size ~n_refs ~cls =
   Clock.advance t.app_clock alloc_cost_ns;
-  match alloc_once t ~thread ~size ~n_refs ~cls with
-  | obj -> obj
-  | exception Heap.Heap_full -> (
-    ignore (run_gc t);
+  let obj =
     match alloc_once t ~thread ~size ~n_refs ~cls with
     | obj -> obj
-    | exception Heap.Heap_full -> raise Out_of_memory)
+    | exception Heap.Heap_full -> (
+      ignore (run_gc t);
+      match alloc_once t ~thread ~size ~n_refs ~cls with
+      | obj -> obj
+      | exception Heap.Heap_full -> raise Out_of_memory)
+  in
+  drain_reclaim_app t;
+  obj
 
 let set_measure_core t core = t.measure_core <- core
 
 let measure_core t = t.measure_core
 
-let charge_app_ns t ns = Clock.advance t.app_clock ns
+let charge_app_ns t ns =
+  Clock.advance t.app_clock ns;
+  drain_reclaim_app t
 
 let charge_app_mem t ~bytes =
   let machine = Process.machine t.proc in
@@ -130,7 +157,8 @@ let charge_app_mem t ~bytes =
       ~streams:machine.Machine.copy_streams
       ~bw:machine.Machine.cost.Cost_model.dram_copy_bw
   in
-  Clock.advance t.app_clock (float_of_int bytes /. bw)
+  Clock.advance t.app_clock (float_of_int bytes /. bw);
+  drain_reclaim_app t
 
 let gc_count t = List.length (Gc_intf.cycles t.collector)
 let cycles t = Gc_intf.cycles t.collector

@@ -11,8 +11,17 @@ open Svagc_vmem
 type t
 
 val create :
-  Machine.t -> instances:int -> spawn:(index:int -> Machine.t -> Jvm.t) -> t
-(** Spawns [instances] JVMs and sets the machine's contention level. *)
+  ?mem_limit_frames:int ->
+  ?swap_cost_ns:float ->
+  Machine.t ->
+  instances:int ->
+  spawn:(index:int -> Machine.t -> Jvm.t) ->
+  t
+(** Spawns [instances] JVMs and sets the machine's contention level.
+    [mem_limit_frames] turns on overcommit: every tenant contends for one
+    shared resident-frame pool (the reclaim plane is attached to the
+    machine before any JVM is spawned), with [swap_cost_ns] optionally
+    overriding both swap-device latencies. *)
 
 val jvms : t -> Jvm.t array
 

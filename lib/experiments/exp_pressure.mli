@@ -1,0 +1,22 @@
+(** Memory-pressure extension — residency-ratio sweep (0.3–1.0) crossed
+    with {SwapVA, memmove} compaction, reporting GC time, major faults and
+    swap traffic under the kswapd-style reclaim plane.  Registered as
+    [exp pressure]. *)
+
+type point = {
+  kind : Exp_common.collector_kind;
+  residency : float;
+  limit : int;  (** resident-frame cap; 0 = unlimited (no reclaim plane) *)
+  gcs : int;
+  gc_ns : float;
+  major_faults : int;
+  swapped_out : int;
+  swapped_in : int;
+  audit : (unit, string list) result;
+}
+
+val sweep : quick:bool -> point list
+(** The raw measurement grid (collector x residency), fully
+    deterministic: two calls return identical points. *)
+
+val run : ?quick:bool -> unit -> unit

@@ -24,6 +24,7 @@ let all =
     { id = "ablation"; title = "Sensitivity & knock-outs (extension)"; run = Exp_ablation.run };
     { id = "extensions"; title = "Minor/concurrent SwapVA + NVM wear (extension)"; run = Exp_extensions.run };
     { id = "resilience"; title = "GC under injected kernel faults (extension)"; run = Exp_resilience.run };
+    { id = "pressure"; title = "Compaction cost vs residency under memory pressure (extension)"; run = Exp_pressure.run };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

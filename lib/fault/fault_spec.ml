@@ -1,4 +1,4 @@
-type site = Pte_resolve | Lock_acquire | Ipi_deliver
+type site = Pte_resolve | Lock_acquire | Ipi_deliver | Swap_io
 
 type mode = Probability of float | Every of int
 
@@ -18,12 +18,14 @@ let site_name = function
   | Pte_resolve -> "pte"
   | Lock_acquire -> "lock"
   | Ipi_deliver -> "ipi"
+  | Swap_io -> "swap"
 
 let site_of_name = function
   | "pte" -> Ok Pte_resolve
   | "lock" -> Ok Lock_acquire
   | "ipi" -> Ok Ipi_deliver
-  | s -> Error (Printf.sprintf "unknown fault site %S (want pte|lock|ipi)" s)
+  | "swap" -> Ok Swap_io
+  | s -> Error (Printf.sprintf "unknown fault site %S (want pte|lock|ipi|swap)" s)
 
 let int_of_token s =
   (* Accepts decimal and 0x-prefixed hex. *)

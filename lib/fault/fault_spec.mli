@@ -7,6 +7,7 @@
     pte:p=0.01                1% of PTE-resolution queries fail (EFAULT)
     lock:every=64             every 64th lock acquisition fails (EAGAIN)
     ipi:p=0.002               0.2% of shootdown broadcasts lose an IPI
+    swap:p=0.01               1% of swap-device IOs fail (EIO_swap)
     pte:p=0.05:va=0x40000000-0x40400000
                               5% EFAULT rate, but only inside that VA range
     v}
@@ -25,6 +26,11 @@ type site =
   | Ipi_deliver
       (** Queried once per IPI-sending TLB-shootdown round; a firing
           models one lost IPI, detected and resent by the kernel. *)
+  | Swap_io
+      (** Queried once per swap-device transfer attempt (both directions);
+          a firing models a device EIO.  The reclaim plane retries a
+          bounded number of times, then skips the eviction (swap-out) or
+          surfaces [EIO_swap] (fault-in). *)
 
 type mode =
   | Probability of float  (** each query fires independently with rate p *)
@@ -37,7 +43,8 @@ type clause = {
   va_hi : int option;
       (** Optional inclusive VA window: queries outside it neither fire
           nor advance this clause's counter/PRNG stream.  Only meaningful
-          for {!Pte_resolve}, where queries carry a page address. *)
+          for {!Pte_resolve} and {!Swap_io}, whose queries carry a page
+          address. *)
 }
 
 type t = clause list

@@ -32,7 +32,11 @@ let clause_matches (c : Fault_spec.clause) ~site ~va =
   c.site = site
   &&
   match (c.va_lo, c.va_hi) with
-  | Some lo, Some hi -> site <> Fault_spec.Pte_resolve || (va >= lo && va <= hi)
+  | Some lo, Some hi ->
+    (* Only queries that carry a page address can be range-filtered. *)
+    (match site with
+    | Fault_spec.Pte_resolve | Fault_spec.Swap_io -> va >= lo && va <= hi
+    | Fault_spec.Lock_acquire | Fault_spec.Ipi_deliver -> true)
   | _ -> true
 
 let clause_fires (a : armed) =

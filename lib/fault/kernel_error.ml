@@ -7,6 +7,7 @@ type t =
   | EINVAL_geometry of { reason : string }
   | EAGAIN_contended
   | EIPI_lost of { core : int }
+  | EIO_swap of { va : int }
 
 exception Fault of t
 exception Fault_ns of t * float
@@ -18,6 +19,7 @@ let errno_name = function
     "EINVAL"
   | EAGAIN_contended -> "EAGAIN"
   | EIPI_lost _ -> "EIPI"
+  | EIO_swap _ -> "EIO"
 
 let to_string = function
   | EFAULT_unmapped { va } ->
@@ -32,6 +34,8 @@ let to_string = function
   | EAGAIN_contended -> "EAGAIN: page-table lock contended"
   | EIPI_lost { core } ->
     Printf.sprintf "EIPI: shootdown IPI to core %d was lost" core
+  | EIO_swap { va } ->
+    Printf.sprintf "EIO: swap device error faulting in page at 0x%x" va
 
 let equal (a : t) (b : t) = a = b
 
@@ -40,7 +44,7 @@ let is_transient = function EAGAIN_contended -> true | _ -> false
 let is_degradable = function
   | EFAULT_unmapped _ | EAGAIN_contended -> true
   | EINVAL_unaligned _ | EINVAL_bad_pages _ | EINVAL_identical | EINVAL_overlap
-  | EINVAL_geometry _ | EIPI_lost _ ->
+  | EINVAL_geometry _ | EIPI_lost _ | EIO_swap _ ->
     false
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

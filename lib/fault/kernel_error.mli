@@ -36,6 +36,13 @@ type t =
           Never surfaced to userspace: the shootdown protocol detects the
           missing ack and resends (see {!Injector} and the DESIGN.md fault
           chapter), charging the extra round instead of failing. *)
+  | EIO_swap of { va : int }
+      (** The swap device failed every attempt of a bounded retry while
+          faulting the page at [va] back in (injected via the [swap] fault
+          site).  Not transient from the caller's perspective — the fault
+          handler has already exhausted its retry budget — and not
+          degradable: the page's bytes are unreachable, so there is no
+          byte-copy fallback. *)
 
 exception Fault of t
 (** Raised by kernel internals strictly {e before} any mutation; the
@@ -49,7 +56,7 @@ exception Fault_ns of t * float
 
 val errno_name : t -> string
 (** The errno-style tag alone: ["EFAULT"], ["EINVAL"], ["EAGAIN"],
-    ["EIPI"]. *)
+    ["EIPI"], ["EIO"]. *)
 
 val to_string : t -> string
 (** Full rendering, e.g.

@@ -79,8 +79,10 @@ let header_matches t obj =
   if not t.stamp_headers then true
   else begin
     let aspace = Process.aspace t.proc in
-    let id = Address_space.read_i64 aspace ~va:obj.Obj_model.addr in
-    let size = Address_space.read_i64 aspace ~va:(obj.Obj_model.addr + 8) in
+    (* Peek, don't read: verifying a header must not demand-fault a
+       swapped page in (the audit under memory pressure stays passive). *)
+    let id = Address_space.peek_i64 aspace ~va:obj.Obj_model.addr in
+    let size = Address_space.peek_i64 aspace ~va:(obj.Obj_model.addr + 8) in
     Int64.to_int id = obj.Obj_model.id && Int64.to_int size = obj.Obj_model.size
   end
 
@@ -232,14 +234,16 @@ let audit t =
         bad "object %d: [0x%x, 0x%x) escapes the heap [0x%x, 0x%x)" id addr
           (addr + size) t.base t.limit
       else begin
-        (* Every page the object touches must still translate: a botched
-           swap/fallback would leave a hole or a stale frame here. *)
+        (* Every page the object touches must still be mapped (present or
+           swapped out — under memory pressure a live object's pages may
+           legitimately live on the swap device): a botched swap/fallback
+           would leave a genuine hole here. *)
         let first = Addr.align_down addr in
         let last = addr + size - 1 in
         let va = ref first in
         let hole = ref None in
         while !hole = None && !va <= last do
-          if Address_space.translate aspace ~va:!va = None then hole := Some !va;
+          if not (Address_space.is_mapped aspace ~va:!va) then hole := Some !va;
           va := !va + Addr.page_size
         done;
         match !hole with

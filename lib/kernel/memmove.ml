@@ -32,7 +32,17 @@ let move ?measure_core ?(cold = false) aspace ~src ~dst ~len =
     | Some core ->
       Address_space.touch_range aspace ~core ~va:src ~len;
       Address_space.touch_range aspace ~core ~va:dst ~len);
-    let ns = cost_ns ~cold machine ~len in
+    (* Under memory pressure the reads/writes/touches above demand-fault
+       swapped pages back in; fold that accumulated reclaim cost into the
+       returned copy cost so the caller's clock pays for the faults the
+       copy caused (SwapVA never pays this: swapping two non-present PTEs
+       just exchanges slots). *)
+    let reclaim_ns =
+      match machine.Machine.reclaim with
+      | None -> 0.0
+      | Some r -> r.Machine.ri_drain_ns ()
+    in
+    let ns = cost_ns ~cold machine ~len +. reclaim_ns in
     if Svagc_trace.Tracer.tracing () then
       Svagc_trace.Tracer.instant ~cat:"kernel" ~advance_ns:ns
         ~args:[ ("len", Svagc_trace.Event.Int len) ]

@@ -45,7 +45,9 @@ let swap ?(fault = None) proc ~pmd_caching ~per_page_flush ~src ~dst ~pages =
   match
     for idx = 0 to total - 1 do
       let va = src + (idx * Addr.page_size) in
-      if not (Pte.is_present (Page_table.get_pte pt va)) then
+      (* Mapped = present or swapped out: rotating PTE words moves swap
+         entries like any other, with no device IO. *)
+      if not (Pte.is_mapped (Page_table.get_pte pt va)) then
         raise (Bail (Svagc_fault.Kernel_error.EFAULT_unmapped { va }));
       match fault with
       | Some inj

@@ -63,12 +63,15 @@ let swap_disjoint_per_page proc ~pmd_caching req =
   let aspace = Process.aspace proc in
   let pt = Address_space.page_table aspace in
   let perf = machine.Machine.perf in
-  (* vma-style precheck, charged via swap_setup_ns by the caller. *)
+  (* vma-style precheck, charged via swap_setup_ns by the caller.  Mapped
+     means present OR swapped out: SwapVA exchanges PTE words, and
+     exchanging a swap entry just moves the slot reference — no swap-in,
+     no device IO.  Only a genuinely absent page is EFAULT. *)
   for i = 0 to req.pages - 1 do
     let off = i * Addr.page_size in
-    if not (Pte.is_present (Page_table.get_pte pt (req.src + off))) then
+    if not (Pte.is_mapped (Page_table.get_pte pt (req.src + off))) then
       unmapped ~va:(req.src + off) ();
-    if not (Pte.is_present (Page_table.get_pte pt (req.dst + off))) then
+    if not (Pte.is_mapped (Page_table.get_pte pt (req.dst + off))) then
       unmapped ~va:(req.dst + off) ()
   done;
   let walker = Pte_walker.create machine pt ~pmd_caching in

@@ -1,0 +1,344 @@
+open Svagc_vmem
+module Tracer = Svagc_trace.Tracer
+
+(* A tracked resident page.  Linked into exactly one of the two LRU lists
+   (or neither, transiently); keyed by virtual address so PTE swaps of two
+   present entries need no fixup (the node describes "the page at this
+   va", not a particular frame). *)
+type whereabouts = Nowhere | On_active | On_inactive
+
+type page = {
+  p_asid : int;
+  p_vpn : int;
+  p_pt : Page_table.t;
+  mutable p_ref : bool;
+  mutable p_prev : page option;
+  mutable p_next : page option;
+  mutable p_on : whereabouts;
+}
+
+(* Doubly-linked list, head = most recently added. *)
+type lru = {
+  whereabouts : whereabouts;
+  mutable first : page option;
+  mutable last : page option;
+  mutable size : int;
+}
+
+let lru_create whereabouts = { whereabouts; first = None; last = None; size = 0 }
+
+let lru_push_front l p =
+  p.p_prev <- None;
+  p.p_next <- l.first;
+  p.p_on <- l.whereabouts;
+  (match l.first with Some q -> q.p_prev <- Some p | None -> l.last <- Some p);
+  l.first <- Some p;
+  l.size <- l.size + 1
+
+let lru_pop_back l =
+  match l.last with
+  | None -> None
+  | Some p ->
+    (match p.p_prev with
+    | Some q -> q.p_next <- None
+    | None -> l.first <- None);
+    l.last <- p.p_prev;
+    p.p_prev <- None;
+    p.p_next <- None;
+    p.p_on <- Nowhere;
+    l.size <- l.size - 1;
+    Some p
+
+let lru_remove l p =
+  (match p.p_prev with
+  | Some q -> q.p_next <- p.p_next
+  | None -> l.first <- p.p_next);
+  (match p.p_next with
+  | Some q -> q.p_prev <- p.p_prev
+  | None -> l.last <- p.p_prev);
+  p.p_prev <- None;
+  p.p_next <- None;
+  p.p_on <- Nowhere;
+  l.size <- l.size - 1
+
+type t = {
+  machine : Machine.t;
+  dev : Swap_dev.t;
+  limit : int;
+  gap : int;  (* hysteresis: each wake evicts down to [limit - gap] *)
+  swap_out_ns : float;
+  swap_in_ns : float;
+  major_fault_ns : float;
+  max_io_retries : int;
+  active : lru;
+  inactive : lru;
+  (* (asid, vpn) -> node, for every page on either list.  Which list a
+     node is on is recovered by removal sites scanning both — see
+     [drop_node]. *)
+  pages : (int * int, page) Hashtbl.t;
+  mutable pending_ns : float;
+  mutable in_kswapd : bool;
+}
+
+let create machine ~limit_frames ?swap_cost_ns ?(max_io_retries = 3) () =
+  if limit_frames <= 0 then
+    invalid_arg "Reclaim.create: limit_frames must be positive";
+  let cost = machine.Machine.cost in
+  let swap_out_ns, swap_in_ns =
+    match swap_cost_ns with
+    | Some ns -> (ns, ns)
+    | None -> (cost.Cost_model.swap_out_ns, cost.Cost_model.swap_in_ns)
+  in
+  {
+    machine;
+    dev = Swap_dev.create ();
+    limit = limit_frames;
+    gap = max 1 (limit_frames / 16);
+    swap_out_ns;
+    swap_in_ns;
+    major_fault_ns = cost.Cost_model.major_fault_ns;
+    max_io_retries;
+    active = lru_create On_active;
+    inactive = lru_create On_inactive;
+    pages = Hashtbl.create 1024;
+    pending_ns = 0.0;
+    in_kswapd = false;
+  }
+
+let limit_frames t = t.limit
+
+let charge t ns = t.pending_ns <- t.pending_ns +. ns
+
+let drain_ns t =
+  let ns = t.pending_ns in
+  t.pending_ns <- 0.0;
+  ns
+
+let drop_node t p =
+  (match p.p_on with
+  | On_active -> lru_remove t.active p
+  | On_inactive -> lru_remove t.inactive p
+  | Nowhere -> ());
+  Hashtbl.remove t.pages (p.p_asid, p.p_vpn)
+
+(* One swap-device transfer with a bounded retry against the machine's
+   fault plane; each attempt (including failed ones) pays [cost_ns]. *)
+let swap_io_ok t ~va ~cost_ns =
+  let perf = t.machine.Machine.perf in
+  let rec go attempt =
+    charge t cost_ns;
+    let fired =
+      match t.machine.Machine.fault with
+      | None -> false
+      | Some inj ->
+        Svagc_fault.Injector.fire inj ~site:Svagc_fault.Fault_spec.Swap_io ~va
+    in
+    if not fired then true
+    else begin
+      perf.Perf.swap_io_errors <- perf.Perf.swap_io_errors + 1;
+      if attempt + 1 < t.max_io_retries then go (attempt + 1) else false
+    end
+  in
+  go 0
+
+(* Evict one tracked page: copy its frame to a fresh swap slot, free the
+   frame, leave a swapped PTE behind and scrub every TLB.  Returns false
+   when the eviction was skipped (stale node or device EIO). *)
+let swap_out t (p : page) =
+  let perf = t.machine.Machine.perf in
+  let va = p.p_vpn * Addr.page_size in
+  let pte = Page_table.get_pte p.p_pt va in
+  if not (Pte.is_present pte) then begin
+    (* Stale node: the entry at this va was swapped or remapped under us
+       (compaction churn); tracking catches up at the next resync. *)
+    Hashtbl.remove t.pages (p.p_asid, p.p_vpn);
+    false
+  end
+  else if not (swap_io_ok t ~va ~cost_ns:t.swap_out_ns) then begin
+    (* Device refused every attempt: skip this page, give it another
+       round through the active list. *)
+    p.p_ref <- true;
+    lru_push_front t.active p;
+    false
+  end
+  else begin
+    let frame = Pte.frame_exn pte in
+    let slot = Swap_dev.alloc_slot t.dev in
+    Swap_dev.write t.dev ~slot
+      (Phys_mem.frame_contents t.machine.Machine.phys frame);
+    Phys_mem.free_frame t.machine.Machine.phys frame;
+    Page_table.set_pte p.p_pt va (Pte.make_swapped ~slot);
+    (* The frame is gone: invalidate any cached translation everywhere
+       (the eviction-side half of shootdown discipline). *)
+    Array.iter
+      (fun c -> Tlb.flush_page c.Machine.tlb ~asid:p.p_asid ~vpn:p.p_vpn)
+      t.machine.Machine.cores;
+    perf.Perf.tlb_flush_page <- perf.Perf.tlb_flush_page + 1;
+    charge t t.machine.Machine.cost.Cost_model.tlb_flush_page_ns;
+    perf.Perf.pages_swapped_out <- perf.Perf.pages_swapped_out + 1;
+    Hashtbl.remove t.pages (p.p_asid, p.p_vpn);
+    if Tracer.tracing () then
+      Tracer.instant ~cat:"reclaim"
+        ~args:
+          [
+            ("va", Svagc_trace.Event.Int va);
+            ("asid", Svagc_trace.Event.Int p.p_asid);
+            ("slot", Svagc_trace.Event.Int slot);
+          ]
+        "reclaim.swap_out";
+    true
+  end
+
+(* The kswapd loop: when residency (plus any frame the caller is about to
+   take, [incoming]) exceeds the limit, age the active list into the
+   inactive list and evict unreferenced inactive pages until residency
+   drops below the low watermark.  Second-chance: a referenced inactive
+   page is rescued back to the active head instead of evicted.  The scan
+   budget (every page can be aged once and considered once, plus slack)
+   guarantees termination even when eviction makes no progress. *)
+let balance_incoming t ~incoming =
+  let perf = t.machine.Machine.perf in
+  let phys = t.machine.Machine.phys in
+  if (not t.in_kswapd) && Phys_mem.frames_in_use phys + incoming > t.limit
+  then begin
+    t.in_kswapd <- true;
+    perf.Perf.kswapd_wakes <- perf.Perf.kswapd_wakes + 1;
+    let tracing = Tracer.tracing () in
+    if tracing then Tracer.span_begin ~cat:"reclaim" "reclaim.kswapd";
+    let ns_before = t.pending_ns in
+    let scans_before = perf.Perf.reclaim_scans in
+    let target = max 0 (t.limit - t.gap) in
+    let budget = ref ((2 * (t.active.size + t.inactive.size)) + 64) in
+    while
+      Phys_mem.frames_in_use phys + incoming > target
+      && !budget > 0
+      && t.active.size + t.inactive.size > 0
+    do
+      decr budget;
+      match lru_pop_back t.inactive with
+      | Some p ->
+        perf.Perf.reclaim_scans <- perf.Perf.reclaim_scans + 1;
+        if p.p_ref then begin
+          (* Second chance: touched while inactive. *)
+          p.p_ref <- false;
+          lru_push_front t.active p
+        end
+        else ignore (swap_out t p)
+      | None -> (
+        (* Refill: age one page from the active tail, clearing its
+           referenced bit so a further touch is needed to rescue it. *)
+        match lru_pop_back t.active with
+        | Some p ->
+          perf.Perf.reclaim_scans <- perf.Perf.reclaim_scans + 1;
+          p.p_ref <- false;
+          lru_push_front t.inactive p
+        | None -> budget := 0)
+    done;
+    if tracing then
+      Tracer.span_end
+        ~args:
+          [
+            ( "scans",
+              Svagc_trace.Event.Int (perf.Perf.reclaim_scans - scans_before) );
+            ( "resident_frames",
+              Svagc_trace.Event.Int (Phys_mem.frames_in_use phys) );
+          ]
+        ~dur_ns:(t.pending_ns -. ns_before) ();
+    t.in_kswapd <- false
+  end
+
+let balance t = balance_incoming t ~incoming:0
+
+let track t ~pt ~asid ~va =
+  let vpn = Addr.page_number va in
+  match Hashtbl.find_opt t.pages (asid, vpn) with
+  | Some p -> p.p_ref <- true
+  | None ->
+    let p =
+      {
+        p_asid = asid;
+        p_vpn = vpn;
+        p_pt = pt;
+        p_ref = true;
+        p_prev = None;
+        p_next = None;
+        p_on = Nowhere;
+      }
+    in
+    Hashtbl.add t.pages (asid, vpn) p;
+    lru_push_front t.active p
+
+let page_mapped t ~pt ~asid ~va =
+  track t ~pt ~asid ~va;
+  balance t
+
+let page_unmapped t ~asid ~va ~pte =
+  if Pte.is_swapped pte then Swap_dev.free_slot t.dev (Pte.swap_slot_exn pte);
+  match Hashtbl.find_opt t.pages (asid, Addr.page_number va) with
+  | Some p -> drop_node t p
+  | None -> ()
+
+let page_touched t ~asid ~va =
+  match Hashtbl.find_opt t.pages (asid, Addr.page_number va) with
+  | Some p -> p.p_ref <- true
+  | None -> ()
+
+let adopt_space t ~pt ~asid =
+  (* Drop stale nodes first (tracked but no longer present) ... *)
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun (a, vpn) p ->
+      if a = asid && not (Pte.is_present (Page_table.get_pte pt (vpn * Addr.page_size)))
+      then stale := p :: !stale)
+    t.pages;
+  List.iter (fun p -> drop_node t p) !stale;
+  (* ... then track present pages we do not know about, in deterministic
+     page-table walk order. *)
+  Page_table.iter_mapped pt ~f:(fun ~vpn ~frame:_ ->
+      if not (Hashtbl.mem t.pages (asid, vpn)) then
+        track t ~pt ~asid ~va:(vpn * Addr.page_size))
+
+let fault_in t ~pt ~asid ~va =
+  let pte = Page_table.get_pte pt va in
+  if Pte.is_swapped pte then begin
+    let perf = t.machine.Machine.perf in
+    perf.Perf.major_faults <- perf.Perf.major_faults + 1;
+    charge t t.major_fault_ns;
+    (* Make room BEFORE taking the frame: the incoming page is not on any
+       LRU list yet, so kswapd cannot choose it — which is what makes the
+       caller's fault-then-retry loop terminate. *)
+    balance_incoming t ~incoming:1;
+    let slot = Pte.swap_slot_exn pte in
+    if not (swap_io_ok t ~va ~cost_ns:t.swap_in_ns) then
+      raise
+        (Svagc_fault.Kernel_error.Fault (Svagc_fault.Kernel_error.EIO_swap { va }));
+    let frame = Phys_mem.alloc_frame t.machine.Machine.phys in
+    (match Swap_dev.read t.dev ~slot with
+    | None -> () (* zero page: the fresh frame is already lazily zero *)
+    | Some b ->
+      Bytes.blit b 0
+        (Phys_mem.frame_bytes t.machine.Machine.phys frame)
+        0 (Bytes.length b));
+    Swap_dev.free_slot t.dev slot;
+    Page_table.set_pte pt va (Pte.make ~frame);
+    perf.Perf.pages_swapped_in <- perf.Perf.pages_swapped_in + 1;
+    track t ~pt ~asid ~va;
+    if Tracer.tracing () then
+      Tracer.instant ~cat:"reclaim"
+        ~args:
+          [
+            ("va", Svagc_trace.Event.Int va);
+            ("asid", Svagc_trace.Event.Int asid);
+            ("slot", Svagc_trace.Event.Int slot);
+            ("frame", Svagc_trace.Event.Int frame);
+          ]
+        "reclaim.fault_in"
+  end
+
+let slot_bytes t ~slot = Swap_dev.peek t.dev ~slot
+
+let slot_allocated t ~slot = Swap_dev.allocated t.dev ~slot
+
+let slots_in_use t = Swap_dev.slots_in_use t.dev
+
+let tracked_pages t = t.active.size + t.inactive.size

@@ -1,0 +1,86 @@
+(** Kernel-side memory-pressure engine: per-machine active/inactive LRU
+    page lists, a kswapd-style watermark reclaimer, and the swap-out /
+    fault-in mechanics over {!Swap_dev}.
+
+    This module owns the {e policy and state}; the {e wiring} lives in
+    [Svagc_kernel.Fault_handler], which wraps these operations in the
+    closure record [Machine.reclaim_iface] and installs it on the machine
+    so that the vmem layer (which cannot depend on this library) can
+    notify page lifecycle events and demand-fault swapped pages back in.
+
+    Pages are tracked per virtual address [(asid, vpn)] — a PTE-level
+    SwapVA that exchanges two {e present} entries moves frames between
+    addresses without invalidating the tracking; mixed present/swapped
+    exchanges are repaired by the post-GC {!adopt_space} resync.
+
+    Costs: every swap-device transfer attempt charges the cost model's
+    [swap_out_ns]/[swap_in_ns] (or the [swap_cost] override) and every
+    demand fault charges [major_fault_ns] into an internal accumulator,
+    drained by the caller that triggered the work ({!drain_ns}) into the
+    appropriate simulated clock.  Determinism: no wall clock, no RNG of
+    its own — injected device errors come from the machine's fault plane
+    ([swap:p=…] clauses). *)
+
+type t
+
+val create :
+  Svagc_vmem.Machine.t ->
+  limit_frames:int ->
+  ?swap_cost_ns:float ->
+  ?max_io_retries:int ->
+  unit ->
+  t
+(** A reclaimer that keeps the machine's resident frame count at or below
+    [limit_frames] (evicting down to a small hysteresis gap below it on
+    each wake).  [swap_cost_ns] overrides both per-page device latencies;
+    [max_io_retries] (default 3) bounds device attempts per transfer.
+    @raise Invalid_argument if [limit_frames <= 0]. *)
+
+val limit_frames : t -> int
+
+(** {2 Page lifecycle notifications} *)
+
+val page_mapped : t -> pt:Svagc_vmem.Page_table.t -> asid:int -> va:int -> unit
+(** Track a freshly-present page (active list, referenced) and run the
+    watermark check — mapping may have pushed residency over the limit. *)
+
+val page_unmapped : t -> asid:int -> va:int -> pte:Svagc_vmem.Pte.value -> unit
+(** Stop tracking [va]; a swapped [pte] releases its slot. *)
+
+val page_touched : t -> asid:int -> va:int -> unit
+(** Set the page's LRU referenced bit (no-op for untracked pages). *)
+
+val adopt_space : t -> pt:Svagc_vmem.Page_table.t -> asid:int -> unit
+(** (Re)synchronize tracking with the page table: track every present
+    page not yet tracked, drop tracked pages that are no longer present.
+    Used both to adopt pre-attach mappings and to repair tracking after a
+    compaction whose SwapVA requests mixed present and swapped entries. *)
+
+(** {2 Demand paging} *)
+
+val fault_in : t -> pt:Svagc_vmem.Page_table.t -> asid:int -> va:int -> unit
+(** The major-fault path: charge the fault, evict first if at the limit
+    (so the incoming page cannot be chosen), read the slot back with a
+    bounded device retry, free the slot and make the PTE present.  No-op
+    when the PTE is already present (a racing fault resolved it).
+    @raise Svagc_fault.Kernel_error.Fault ([EIO_swap]) when every device
+    attempt fails. *)
+
+val balance : t -> unit
+(** Run the watermark check / kswapd loop explicitly (tests). *)
+
+(** {2 Observers (oracle-safe: never mutate)} *)
+
+val slot_bytes : t -> slot:int -> bytes option
+(** The slot's payload without faulting ([None] = zero page); the device's
+    own buffer, so callers must not mutate it. *)
+
+val slot_allocated : t -> slot:int -> bool
+
+val slots_in_use : t -> int
+
+val tracked_pages : t -> int
+(** Pages currently on the LRU lists. *)
+
+val drain_ns : t -> float
+(** Return and reset the accumulated reclaim cost. *)

@@ -1,0 +1,38 @@
+(** The simulated swap device: a growable array of page-sized slots.
+
+    Slots hold their payload as [bytes option] — [None] is a logically
+    zero page, mirroring [Phys_mem]'s lazy frames, so an untouched page
+    can round-trip through swap without its 4 KiB ever being allocated.
+    The device itself is free of timing and failure policy: latencies are
+    charged and injected EIOs decided by {!Reclaim}, which also owns slot
+    lifetime (a slot is allocated on swap-out and freed on swap-in or
+    when its owning page is unmapped). *)
+
+type t
+
+val create : unit -> t
+(** An empty device; capacity grows on demand. *)
+
+val alloc_slot : t -> int
+(** Claim a free slot (lowest-numbered first, so slot numbers are
+    deterministic and traces read well). *)
+
+val free_slot : t -> int -> unit
+(** @raise Invalid_argument if the slot is not allocated. *)
+
+val write : t -> slot:int -> bytes option -> unit
+(** Store a page payload; [None] records a zero page.  The device takes
+    ownership of a copy, never an alias of live frame bytes.
+    @raise Invalid_argument if the slot is not allocated. *)
+
+val read : t -> slot:int -> bytes option
+(** The stored payload ([None] = zero page).  Returns a fresh copy.
+    @raise Invalid_argument if the slot is not allocated. *)
+
+val peek : t -> slot:int -> bytes option
+(** Like {!read} but returns the device's own buffer (callers must not
+    mutate it) — the oracle/checksum path, guaranteed allocation-free. *)
+
+val allocated : t -> slot:int -> bool
+
+val slots_in_use : t -> int

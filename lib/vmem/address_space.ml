@@ -26,30 +26,58 @@ let map_range t ~va ~pages =
     invalid_arg "Address_space.map_range: va not page-aligned";
   for i = 0 to pages - 1 do
     let page_va = va + (i * Addr.page_size) in
-    if Pte.is_present (Page_table.get_pte t.pt page_va) then
+    if Pte.is_mapped (Page_table.get_pte t.pt page_va) then
       invalid_arg "Address_space.map_range: page already mapped";
     let frame = Phys_mem.alloc_frame t.machine.Machine.phys in
-    Page_table.set_pte t.pt page_va (Pte.make ~frame)
+    Page_table.set_pte t.pt page_va (Pte.make ~frame);
+    match t.machine.Machine.reclaim with
+    | None -> ()
+    | Some r -> r.Machine.ri_page_mapped ~pt:t.pt ~asid:t.asid ~va:page_va
   done
 
 let unmap_range t ~va ~pages =
   for i = 0 to pages - 1 do
     let page_va = Addr.align_down va + (i * Addr.page_size) in
     let pte = Page_table.get_pte t.pt page_va in
-    if Pte.is_present pte then begin
-      Phys_mem.free_frame t.machine.Machine.phys (Pte.frame_exn pte);
+    if Pte.is_mapped pte then begin
+      (* Tell the pressure plane first (it drops the page from its LRU
+         lists, or frees a swapped page's slot), then release the frame. *)
+      (match t.machine.Machine.reclaim with
+      | None -> ()
+      | Some r -> r.Machine.ri_page_unmapped ~asid:t.asid ~va:page_va ~pte);
+      if Pte.is_present pte then
+        Phys_mem.free_frame t.machine.Machine.phys (Pte.frame_exn pte);
       Page_table.set_pte t.pt page_va Pte.none
     end
   done
 
-let is_mapped t ~va = Pte.is_present (Page_table.get_pte t.pt va)
+let is_mapped t ~va = Pte.is_mapped (Page_table.get_pte t.pt va)
 
 let translate t ~va = Page_table.translate t.pt va
 
-let frame_of_exn t va =
-  match translate t ~va with
-  | Some (frame, off) -> (frame, off)
-  | None ->
+(* Demand paging lives here: any access that needs the backing frame of a
+   swapped-out page routes through the pressure plane's fault handler,
+   which swaps the page back in (possibly evicting others) and leaves the
+   PTE present — so the recursive retry terminates after one fault. *)
+let rec frame_of_exn t va =
+  let pte = Page_table.get_pte t.pt va in
+  if Pte.is_present pte then begin
+    (match t.machine.Machine.reclaim with
+    | None -> ()
+    | Some r -> r.Machine.ri_page_touched ~asid:t.asid ~va);
+    (Pte.frame_exn pte, Addr.page_offset va)
+  end
+  else if Pte.is_swapped pte then begin
+    match t.machine.Machine.reclaim with
+    | Some r ->
+      r.Machine.ri_fault_in ~pt:t.pt ~asid:t.asid ~va;
+      frame_of_exn t va
+    | None ->
+      invalid_arg
+        (Format.asprintf
+           "Address_space: swapped address %a with no reclaim plane" Addr.pp va)
+  end
+  else
     invalid_arg (Format.asprintf "Address_space: unmapped address %a" Addr.pp va)
 
 (* Apply [f frame off len] to each page-bounded chunk of [va, va+len). *)
@@ -100,14 +128,66 @@ let fill t ~va ~len c =
   iter_chunks t ~va ~len (fun ~frame ~off ~chunk ~at:_ ->
       Bytes.fill (Phys_mem.frame_bytes t.machine.Machine.phys frame) off chunk c)
 
+(* Non-faulting page-chunk iteration: [f] receives the page's payload as
+   [Some bytes] (read at [off]) or [None] for a logically-zero page.  Used
+   by the oracles (checksum, audit) so that *observing* the heap never
+   swaps pages in, materializes zero frames, or perturbs LRU state. *)
+let iter_chunks_peek t ~va ~len f =
+  let pos = ref va in
+  let remaining = ref len in
+  let consumed = ref 0 in
+  while !remaining > 0 do
+    let off = Addr.page_offset !pos in
+    let chunk = min !remaining (Addr.page_size - off) in
+    let pte = Page_table.get_pte t.pt !pos in
+    let payload =
+      if Pte.is_present pte then
+        Phys_mem.frame_contents t.machine.Machine.phys (Pte.frame_exn pte)
+      else if Pte.is_swapped pte then begin
+        match t.machine.Machine.reclaim with
+        | Some r -> r.Machine.ri_slot_bytes ~slot:(Pte.swap_slot_exn pte)
+        | None ->
+          invalid_arg
+            (Format.asprintf
+               "Address_space: swapped address %a with no reclaim plane"
+               Addr.pp !pos)
+      end
+      else
+        invalid_arg
+          (Format.asprintf "Address_space: unmapped address %a" Addr.pp !pos)
+    in
+    f ~payload ~off ~chunk ~at:!consumed;
+    pos := !pos + chunk;
+    consumed := !consumed + chunk;
+    remaining := !remaining - chunk
+  done
+
+let peek_bytes t ~va ~len =
+  let out = Bytes.create len in
+  iter_chunks_peek t ~va ~len (fun ~payload ~off ~chunk ~at ->
+      match payload with
+      | Some b -> Bytes.blit b off out at chunk
+      | None -> Bytes.fill out at chunk '\000');
+  out
+
+let peek_i64 t ~va =
+  let b = peek_bytes t ~va ~len:8 in
+  Bytes.get_int64_le b 0
+
 let checksum t ~va ~len =
   let h = ref 0xcbf29ce484222325L in
-  iter_chunks t ~va ~len (fun ~frame ~off ~chunk ~at:_ ->
-      let b = Phys_mem.frame_bytes t.machine.Machine.phys frame in
-      for i = off to off + chunk - 1 do
-        h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
-        h := Int64.mul !h 0x100000001b3L
-      done);
+  iter_chunks_peek t ~va ~len (fun ~payload ~off ~chunk ~at:_ ->
+      match payload with
+      | Some b ->
+        for i = off to off + chunk - 1 do
+          h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+          h := Int64.mul !h 0x100000001b3L
+        done
+      | None ->
+        (* FNV-1a over [chunk] zero bytes: xor-with-0 is the identity. *)
+        for _ = 1 to chunk do
+          h := Int64.mul !h 0x100000001b3L
+        done);
   !h
 
 let touch t ~core ~va =
@@ -115,15 +195,19 @@ let touch t ~core ~va =
   let vpn = Addr.page_number va in
   let frame =
     match Tlb.lookup c.Machine.tlb ~asid:t.asid ~vpn with
-    | Some frame -> frame
-    | None -> (
-      match translate t ~va with
-      | Some (frame, _) ->
-        Tlb.insert c.Machine.tlb ~asid:t.asid ~vpn ~frame;
-        frame
-      | None ->
-        invalid_arg
-          (Format.asprintf "Address_space.touch: unmapped address %a" Addr.pp va))
+    | Some frame ->
+      (match t.machine.Machine.reclaim with
+      | None -> ()
+      | Some r -> r.Machine.ri_page_touched ~asid:t.asid ~va);
+      frame
+    | None ->
+      (* TLB miss: a swapped page demand-faults here (frame_of_exn runs
+         the fault handler), after which the refill proceeds normally.
+         Swap-out scrubs the page from every TLB, so a hit above always
+         means present. *)
+      let frame, _off = frame_of_exn t va in
+      Tlb.insert c.Machine.tlb ~asid:t.asid ~vpn ~frame;
+      frame
   in
   let pa = (frame * Addr.page_size) + Addr.page_offset va in
   Cache_sim.access t.machine.Machine.llc ~addr:pa

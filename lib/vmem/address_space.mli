@@ -29,12 +29,27 @@ val unmap_range : t -> va:int -> pages:int -> unit
 (** Unmap and free the backing frames.  Unmapped pages are skipped. *)
 
 val is_mapped : t -> va:int -> bool
+(** True for present *and* swapped-out pages (the page is owned, even if
+    its bytes currently live on the swap device). *)
 
 val translate : t -> va:int -> (int * int) option
-(** [(frame, offset)]; no TLB interaction. *)
+(** [(frame, offset)]; no TLB interaction, no demand faulting — a
+    swapped-out page translates to [None]. *)
 
 val read_bytes : t -> va:int -> len:int -> bytes
-(** @raise Invalid_argument if any page in the range is unmapped. *)
+(** @raise Invalid_argument if any page in the range is unmapped.  Like
+    every frame-resolving accessor, demand-faults swapped pages back in
+    through the machine's reclaim plane. *)
+
+val peek_bytes : t -> va:int -> len:int -> bytes
+(** Non-faulting read: present pages are read in place, swapped pages are
+    read from their swap slot, and logically-zero pages yield zeroes —
+    without swapping anything in, materializing zero frames, or touching
+    LRU state.  The oracle-side dual of {!read_bytes}.
+    @raise Invalid_argument if any page in the range is unmapped. *)
+
+val peek_i64 : t -> va:int -> int64
+(** Non-faulting little-endian 64-bit read (see {!peek_bytes}). *)
 
 val write_bytes : t -> va:int -> src:bytes -> unit
 
@@ -49,11 +64,13 @@ val write_i64 : t -> va:int -> int64 -> unit
 val fill : t -> va:int -> len:int -> char -> unit
 
 val checksum : t -> va:int -> len:int -> int64
-(** FNV-1a over the range; the GC correctness oracle. *)
+(** FNV-1a over the range; the GC correctness oracle.  Peek-based: never
+    faults pages in or perturbs reclaim state (see {!peek_bytes}). *)
 
 val touch : t -> core:int -> va:int -> unit
-(** Measured access: TLB lookup (refill through the page table on a miss)
-    and one LLC line touch at the physical address.
+(** Measured access: TLB lookup (refill through the page table on a miss,
+    demand-faulting a swapped page back in first) and one LLC line touch
+    at the physical address.
     @raise Invalid_argument if unmapped. *)
 
 val touch_range : t -> core:int -> va:int -> len:int -> unit

@@ -26,6 +26,9 @@ type t = {
   barrier_ns : float;
   steal_ns : float;
   retry_backoff_ns : float;
+  swap_out_ns : float;
+  swap_in_ns : float;
+  major_fault_ns : float;
 }
 
 let i5_7600 =
@@ -57,6 +60,11 @@ let i5_7600 =
     barrier_ns = 1200.0;
     steal_ns = 90.0;
     retry_backoff_ns = 500.0;
+    (* Consumer NVMe swap: ~2 GB/s effective per-4KiB-page transfer plus
+       device/queueing latency. *)
+    swap_out_ns = 9000.0;
+    swap_in_ns = 12000.0;
+    major_fault_ns = 1800.0;
   }
 
 let xeon_6130 =
@@ -88,6 +96,11 @@ let xeon_6130 =
     barrier_ns = 2000.0;
     steal_ns = 120.0;
     retry_backoff_ns = 600.0;
+    (* Datacenter NVMe: higher queue depth hides some latency, faster
+       link. *)
+    swap_out_ns = 7000.0;
+    swap_in_ns = 9500.0;
+    major_fault_ns = 2100.0;
   }
 
 let xeon_6240 =

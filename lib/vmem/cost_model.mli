@@ -51,6 +51,18 @@ type t = {
       (** base backoff the GC charges before re-issuing a SwapVA request
           that failed with a transient [EAGAIN]; attempt [k] (0-based)
           waits [retry_backoff_ns *. 2.0 ** k] simulated ns *)
+  swap_out_ns : float;
+      (** writing one 4 KiB page to the simulated swap device (submission +
+          transfer at NVMe-class bandwidth); charged per page evicted by
+          kswapd-style reclaim, and per device retry after an injected
+          EIO.  [Config.swap_cost_ns] can override it per run. *)
+  swap_in_ns : float;
+      (** reading one 4 KiB page back from the swap device on a demand
+          fault; same override as [swap_out_ns] *)
+  major_fault_ns : float;
+      (** fault-handler entry/exit around a swap-in: trap, vma lookup,
+          page allocation bookkeeping — charged once per major fault on
+          top of the device transfer *)
 }
 
 val i5_7600 : t

@@ -3,6 +3,24 @@ type core = {
   tlb : Tlb.t;
 }
 
+(* The machine's memory-pressure plane, as a record of closures: the state
+   (swap device, LRU lists, watermarks) lives in svagc_reclaim, which sits
+   ABOVE this library, so — like the fault injector and the shadow-oracle
+   hooks — the wiring is inverted.  [None] (the default) means no memory
+   limit: every call site guards with one ref read and behaves exactly as
+   before, keeping unlimited runs bit-identical. *)
+type reclaim_iface = {
+  ri_page_mapped : pt:Page_table.t -> asid:int -> va:int -> unit;
+  ri_page_unmapped : asid:int -> va:int -> pte:Pte.value -> unit;
+  ri_page_touched : asid:int -> va:int -> unit;
+  ri_fault_in : pt:Page_table.t -> asid:int -> va:int -> unit;
+  ri_adopt : pt:Page_table.t -> asid:int -> unit;
+  ri_slot_bytes : slot:int -> bytes option;
+  ri_slot_allocated : slot:int -> bool;
+  ri_slots_in_use : unit -> int;
+  ri_drain_ns : unit -> float;
+}
+
 type t = {
   cost : Cost_model.t;
   ncores : int;
@@ -13,6 +31,7 @@ type t = {
   mutable copy_streams : int;
   mutable next_asid : int;
   mutable fault : Svagc_fault.Injector.t option;
+  mutable reclaim : reclaim_iface option;
 }
 
 (* Observation hooks for the shadow oracle (svagc_check).  The vmem layer
@@ -40,6 +59,7 @@ let create ?ncores ?(phys_mib = 512) (cost : Cost_model.t) =
       copy_streams = 1;
       next_asid = 1;
       fault = None;
+      reclaim = None;
     }
   in
   (match !created_hook with None -> () | Some f -> f t);

@@ -10,6 +10,42 @@ type core = {
   tlb : Tlb.t;
 }
 
+(** The machine's memory-pressure plane as a record of closures.  The
+    reclaim state (swap device, LRU lists, watermarks) lives in
+    [svagc_reclaim], which sits above this library, so — like the fault
+    injector and the shadow-oracle hooks — the wiring is inverted: the
+    kernel's fault handler builds these closures and installs them in
+    {!t.reclaim}.  [None] (the default) means no memory limit and keeps
+    unlimited runs bit-identical. *)
+type reclaim_iface = {
+  ri_page_mapped : pt:Page_table.t -> asid:int -> va:int -> unit;
+      (** A page just became present at [va] (fresh mapping). *)
+  ri_page_unmapped : asid:int -> va:int -> pte:Pte.value -> unit;
+      (** The PTE at [va] (present or swapped — passed so a swapped page's
+          slot can be released) is being destroyed. *)
+  ri_page_touched : asid:int -> va:int -> unit;
+      (** A present page was accessed (sets the LRU referenced bit). *)
+  ri_fault_in : pt:Page_table.t -> asid:int -> va:int -> unit;
+      (** Demand fault: the PTE at [va] is swapped; bring it back in
+          (charging the major-fault and swap-in costs, possibly evicting
+          other pages first).  Postcondition: the PTE is present.
+          @raise Svagc_fault.Kernel_error.Fault on an exhausted
+          swap-device error retry budget ([EIO_swap]). *)
+  ri_adopt : pt:Page_table.t -> asid:int -> unit;
+      (** (Re)synchronize LRU tracking with the page table — adopt
+          pre-attach mappings, repair tracking after a compaction whose
+          SwapVA requests mixed present and swapped entries. *)
+  ri_slot_bytes : slot:int -> bytes option;
+      (** Peek at a swap slot's payload without faulting anything in;
+          [None] means a logically zero page. *)
+  ri_slot_allocated : slot:int -> bool;
+  ri_slots_in_use : unit -> int;
+  ri_drain_ns : unit -> float;
+      (** Return and clear the reclaim cost accumulated since the last
+          drain (swap-device IO, fault handling, kswapd scans).  Callers
+          fold it into whichever clock triggered the work. *)
+}
+
 type t = {
   cost : Cost_model.t;
   ncores : int;
@@ -26,6 +62,9 @@ type t = {
           injector with an all-zero-rate spec are observationally
           bit-identical.  Installed by the GC from [Config.fault_spec] /
           [Config.fault_seed]. *)
+  mutable reclaim : reclaim_iface option;
+      (** The memory-pressure plane; [None] (the default) means unlimited
+          physical memory.  Installed by [Fault_handler.attach]. *)
 }
 
 val create : ?ncores:int -> ?phys_mib:int -> Cost_model.t -> t

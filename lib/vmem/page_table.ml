@@ -164,3 +164,33 @@ let mapped_pages t =
   let n = ref 0 in
   fold_leaves t ~f:(fun ~vpn:_ ~frame:_ -> incr n);
   !n
+
+(* Same walk as [fold_leaves] but over the non-present half of the encoding:
+   the svagc_check reclaim oracle uses this to account for every swap slot a
+   table references. *)
+let iter_swapped t ~f =
+  let rec walk node ~base =
+    match node with
+    | Leaf ptes ->
+      Array.iteri
+        (fun i v ->
+          if Pte.is_swapped v then
+            f ~vpn:((base * Addr.entries_per_table) + i) ~slot:(Pte.swap_slot_exn v))
+        ptes
+    | Dir entries ->
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | None -> ()
+          | Some child -> walk child ~base:((base * Addr.entries_per_table) + i))
+        entries
+  in
+  Array.iteri
+    (fun i slot ->
+      match slot with None -> () | Some child -> walk child ~base:i)
+    t.root
+
+let swapped_pages t =
+  let n = ref 0 in
+  iter_swapped t ~f:(fun ~vpn:_ ~slot:_ -> incr n);
+  !n

@@ -45,12 +45,21 @@ val set_pte : t -> int -> Pte.value -> unit
 (** Creates the directory path if needed. *)
 
 val translate : t -> int -> (int * int) option
-(** [translate t va] is [Some (frame, offset)] when mapped. *)
+(** [translate t va] is [Some (frame, offset)] when mapped.  A swapped
+    entry does NOT translate — resolving it is the demand-paging fault
+    handler's job (svagc_reclaim). *)
 
 val mapped_pages : t -> int
 (** Number of present PTEs (O(mapped), for tests and teardown). *)
 
 val iter_mapped : t -> f:(vpn:int -> frame:int -> unit) -> unit
+
+val iter_swapped : t -> f:(vpn:int -> slot:int -> unit) -> unit
+(** Walk every swapped (non-present, slot-carrying) PTE — the read path of
+    the svagc_check reclaim conservation oracle. *)
+
+val swapped_pages : t -> int
+(** Number of swapped PTEs (O(mapped)). *)
 
 val walk_dir_levels : int
 (** Directory levels traversed per [getPTE]: 4 (pgd, p4d, pud, pmd). *)

@@ -22,6 +22,12 @@ type t = {
   mutable swap_fallbacks : int;
   mutable alloc_waste_bytes : int;
   mutable alloc_bytes : int;
+  mutable pages_swapped_out : int;
+  mutable pages_swapped_in : int;
+  mutable major_faults : int;
+  mutable reclaim_scans : int;
+  mutable kswapd_wakes : int;
+  mutable swap_io_errors : int;
 }
 
 let create () =
@@ -49,6 +55,12 @@ let create () =
     swap_fallbacks = 0;
     alloc_waste_bytes = 0;
     alloc_bytes = 0;
+    pages_swapped_out = 0;
+    pages_swapped_in = 0;
+    major_faults = 0;
+    reclaim_scans = 0;
+    kswapd_wakes = 0;
+    swap_io_errors = 0;
   }
 
 let reset t =
@@ -74,7 +86,13 @@ let reset t =
   t.swap_retries <- 0;
   t.swap_fallbacks <- 0;
   t.alloc_waste_bytes <- 0;
-  t.alloc_bytes <- 0
+  t.alloc_bytes <- 0;
+  t.pages_swapped_out <- 0;
+  t.pages_swapped_in <- 0;
+  t.major_faults <- 0;
+  t.reclaim_scans <- 0;
+  t.kswapd_wakes <- 0;
+  t.swap_io_errors <- 0
 
 let copy t =
   {
@@ -101,6 +119,12 @@ let copy t =
     swap_fallbacks = t.swap_fallbacks;
     alloc_waste_bytes = t.alloc_waste_bytes;
     alloc_bytes = t.alloc_bytes;
+    pages_swapped_out = t.pages_swapped_out;
+    pages_swapped_in = t.pages_swapped_in;
+    major_faults = t.major_faults;
+    reclaim_scans = t.reclaim_scans;
+    kswapd_wakes = t.kswapd_wakes;
+    swap_io_errors = t.swap_io_errors;
   }
 
 let diff ~after ~before =
@@ -128,6 +152,12 @@ let diff ~after ~before =
     swap_fallbacks = after.swap_fallbacks - before.swap_fallbacks;
     alloc_waste_bytes = after.alloc_waste_bytes - before.alloc_waste_bytes;
     alloc_bytes = after.alloc_bytes - before.alloc_bytes;
+    pages_swapped_out = after.pages_swapped_out - before.pages_swapped_out;
+    pages_swapped_in = after.pages_swapped_in - before.pages_swapped_in;
+    major_faults = after.major_faults - before.major_faults;
+    reclaim_scans = after.reclaim_scans - before.reclaim_scans;
+    kswapd_wakes = after.kswapd_wakes - before.kswapd_wakes;
+    swap_io_errors = after.swap_io_errors - before.swap_io_errors;
   }
 
 let to_assoc t =
@@ -155,6 +185,12 @@ let to_assoc t =
     ("swap_fallbacks", t.swap_fallbacks);
     ("alloc_waste_bytes", t.alloc_waste_bytes);
     ("alloc_bytes", t.alloc_bytes);
+    ("pages_swapped_out", t.pages_swapped_out);
+    ("pages_swapped_in", t.pages_swapped_in);
+    ("major_faults", t.major_faults);
+    ("reclaim_scans", t.reclaim_scans);
+    ("kswapd_wakes", t.kswapd_wakes);
+    ("swap_io_errors", t.swap_io_errors);
   ]
 
 let pp ppf t =
@@ -162,10 +198,14 @@ let pp ppf t =
     "syscalls=%d swapva=%d memmove=%d ptes_swapped=%d walks=%d pmd_hits=%d \
      leaf_runs=%d coalesced=%d leaf_swaps=%d copied=%dB remapped=%dB \
      flush_local=%d flush_page=%d flush_all=%d ipis=%d ipis_lost=%d broadcasts=%d pins=%d \
-     gcs=%d retries=%d fallbacks=%d waste=%dB alloc=%dB"
+     gcs=%d retries=%d fallbacks=%d waste=%dB alloc=%dB \
+     swapped_out=%d swapped_in=%d major_faults=%d reclaim_scans=%d \
+     kswapd_wakes=%d swap_eio=%d"
     t.syscalls t.swapva_calls t.memmove_calls t.ptes_swapped t.pt_walks
     t.pmd_cache_hits t.leaf_runs t.runs_coalesced t.pmd_leaf_swaps
     t.bytes_copied t.bytes_remapped t.tlb_flush_local
     t.tlb_flush_page t.tlb_flush_all t.ipis_sent t.ipis_lost t.shootdown_broadcasts t.pins
     t.gc_cycles t.swap_retries t.swap_fallbacks
     t.alloc_waste_bytes t.alloc_bytes
+    t.pages_swapped_out t.pages_swapped_in t.major_faults t.reclaim_scans
+    t.kswapd_wakes t.swap_io_errors

@@ -43,6 +43,21 @@ type t = {
           a degradable kernel error (see [Kernel_error.is_degradable]) *)
   mutable alloc_waste_bytes : int;  (** page-alignment fragmentation *)
   mutable alloc_bytes : int;
+  mutable pages_swapped_out : int;
+      (** pages evicted to the swap device by kswapd-style reclaim *)
+  mutable pages_swapped_in : int;
+      (** pages read back on a demand fault; always [<= pages_swapped_out] *)
+  mutable major_faults : int;
+      (** demand faults that hit a swapped PTE and had to touch the swap
+          device (counted on fault entry, before the device IO) *)
+  mutable reclaim_scans : int;
+      (** LRU pages examined by kswapd (active-list aging + inactive-list
+          eviction candidates) *)
+  mutable kswapd_wakes : int;
+      (** watermark-triggered reclaim activations *)
+  mutable swap_io_errors : int;
+      (** injected swap-device EIOs observed (one per failed device
+          attempt, both directions); see the [swap] fault site *)
 }
 
 val create : unit -> t

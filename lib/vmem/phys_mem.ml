@@ -47,6 +47,14 @@ let free_frame t frame =
     t.in_use <- t.in_use - 1;
     Svagc_util.Vec.push t.free frame
 
+let frame_contents t frame =
+  if frame < 0 || frame >= Array.length t.frames then
+    invalid_arg "Phys_mem.frame_contents: no such frame";
+  match t.frames.(frame) with
+  | Free -> invalid_arg "Phys_mem.frame_contents: frame not in use"
+  | Zeroed -> None
+  | Data b -> Some b
+
 let frame_bytes t frame =
   if frame < 0 || frame >= Array.length t.frames then
     invalid_arg "Phys_mem.frame_bytes: no such frame";

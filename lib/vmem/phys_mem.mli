@@ -23,6 +23,12 @@ val frame_bytes : t -> int -> bytes
 (** Direct view of a frame's backing store (always [page_size] long).
     @raise Invalid_argument if the frame is not in use. *)
 
+val frame_contents : t -> int -> bytes option
+(** Like {!frame_bytes} but without materializing a lazily-zeroed frame:
+    [None] means "logically all zeroes".  Lets the swap device carry an
+    untouched zero page without ever allocating its 4 KiB.
+    @raise Invalid_argument if the frame is not in use. *)
+
 val read : t -> frame:int -> off:int -> len:int -> bytes
 
 val write : t -> frame:int -> off:int -> src:bytes -> src_off:int -> len:int -> unit

@@ -6,12 +6,29 @@ let make ~frame =
   if frame < 0 then invalid_arg "Pte.make: negative frame";
   frame + 1
 
-let is_present v = v <> none
+(* Swap entries occupy the negative half of the word: a real PTE clears the
+   present bit and reuses the rest for the swap offset; an int gives us the
+   sign bit for free.  [none] (0) stays the unique "never mapped" value, so
+   every existing [<> none] mapped-check keeps working unchanged. *)
+let make_swapped ~slot =
+  if slot < 0 then invalid_arg "Pte.make_swapped: negative slot";
+  -(slot + 1)
+
+let is_present v = v > 0
+
+let is_swapped v = v < 0
+
+let is_mapped v = v <> none
 
 let frame_exn v =
-  if v = none then invalid_arg "Pte.frame_exn: entry not present";
+  if v <= 0 then invalid_arg "Pte.frame_exn: entry not present";
   v - 1
+
+let swap_slot_exn v =
+  if v >= 0 then invalid_arg "Pte.swap_slot_exn: entry not swapped";
+  -v - 1
 
 let pp ppf v =
   if is_present v then Format.fprintf ppf "pte(frame=%d)" (frame_exn v)
+  else if is_swapped v then Format.fprintf ppf "pte(swap=%d)" (swap_slot_exn v)
   else Format.pp_print_string ppf "pte(none)"

@@ -1,18 +1,41 @@
 (** Page-table entries, encoded as single immutable words like hardware PTEs.
 
     A leaf table is an [int array]; swapping two PTEs is swapping two array
-    slots, which is exactly the operation the SwapVA system call performs. *)
+    slots, which is exactly the operation the SwapVA system call performs.
+    The encoding has three states, mirroring a real PTE's present bit and
+    swap-entry format:
+
+    - [0]: never mapped ([none])
+    - [frame + 1] (positive): present, resident in [frame]
+    - [-(slot + 1)] (negative): mapped but non-present; the page's contents
+      live in swap slot [slot] (see svagc_reclaim)
+
+    Because a swap entry is still non-zero, range checks that ask "is this
+    page mapped at all?" ([is_mapped], SwapVA's vma precheck) accept it, and
+    exchanging two PTE words exchanges swap slots just as cheaply as frames
+    — the paper's PTE-swap advantage extended below the residency line. *)
 
 type value = int
-(** 0 = not present; otherwise [frame + 1]. *)
 
 val none : value
 
 val make : frame:int -> value
 
+val make_swapped : slot:int -> value
+
 val is_present : value -> bool
+(** Resident: translates to a frame. *)
+
+val is_swapped : value -> bool
+(** Mapped but paged out to a swap slot. *)
+
+val is_mapped : value -> bool
+(** Present or swapped — anything but [none]. *)
 
 val frame_exn : value -> int
 (** @raise Invalid_argument on a non-present entry. *)
+
+val swap_slot_exn : value -> int
+(** @raise Invalid_argument on a non-swapped entry. *)
 
 val pp : Format.formatter -> value -> unit

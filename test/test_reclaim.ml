@@ -1,0 +1,358 @@
+(* Tests for svagc_reclaim and its wiring: swap-device and address-space
+   byte round-trips through swap-out/fault-in, the SwapVA slot-exchange
+   fast path (zero major faults) vs memmove's fault-everything-in slow
+   path, post-GC heap audits and conservation laws under 0.5 residency,
+   determinism of the pressure experiment, the [swap] fault-injection
+   site (typed EIO_swap after bounded retries), and rate-0 bit-identity
+   of a [swap:p=0] clause. *)
+
+open Svagc_vmem
+module Process = Svagc_kernel.Process
+module Swapva = Svagc_kernel.Swapva
+module Memmove = Svagc_kernel.Memmove
+module Fault_handler = Svagc_kernel.Fault_handler
+module Reclaim = Svagc_reclaim.Reclaim
+module Swap_dev = Svagc_reclaim.Swap_dev
+module Fault_spec = Svagc_fault.Fault_spec
+module Kernel_error = Svagc_fault.Kernel_error
+module Config = Svagc_core.Config
+module Jvm = Svagc_core.Jvm
+module Runner = Svagc_workloads.Runner
+module Workload = Svagc_workloads.Workload
+module Exp_common = Svagc_experiments.Exp_common
+module Exp_pressure = Svagc_experiments.Exp_pressure
+
+let qtest ?(count = 50) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let base = 1 lsl 32
+
+(* --- Swap_dev --- *)
+
+let prop_swap_dev_round_trip =
+  qtest "swap device round-trips any payload"
+    QCheck.(list (option (string_of_size (QCheck.Gen.return Addr.page_size))))
+    (fun payloads ->
+      let dev = Swap_dev.create () in
+      let slots =
+        List.map
+          (fun payload ->
+            let slot = Swap_dev.alloc_slot dev in
+            Swap_dev.write dev ~slot (Option.map Bytes.of_string payload);
+            (slot, payload))
+          payloads
+      in
+      List.for_all
+        (fun (slot, payload) ->
+          let back = Option.map Bytes.to_string (Swap_dev.read dev ~slot) in
+          Swap_dev.free_slot dev slot;
+          back = payload)
+        slots
+      && Swap_dev.slots_in_use dev = 0)
+
+let test_swap_dev_slot_reuse () =
+  let dev = Swap_dev.create () in
+  let a = Swap_dev.alloc_slot dev in
+  let b = Swap_dev.alloc_slot dev in
+  Swap_dev.free_slot dev a;
+  (* Lowest-numbered-first: the freed slot is reused deterministically. *)
+  Alcotest.(check int) "freed slot reused" a (Swap_dev.alloc_slot dev);
+  Alcotest.(check bool) "b still allocated" true (Swap_dev.allocated dev ~slot:b);
+  Alcotest.(check int) "two in use" 2 (Swap_dev.slots_in_use dev)
+
+(* --- Address-space round trips under pressure --- *)
+
+(* [2 * pages] mapped, machine capped at [pages] resident frames; the
+   reclaim plane is attached before mapping so kswapd evicts the cold
+   half as mapping crosses the watermark. *)
+let pressured_fixture ~pages =
+  let machine = Machine.create ~ncores:4 ~phys_mib:64 Cost_model.xeon_6130 in
+  let r = Fault_handler.attach machine ~limit_frames:pages () in
+  let proc = Process.create machine in
+  let aspace = Process.aspace proc in
+  Address_space.map_range aspace ~va:base ~pages:(2 * pages);
+  (machine, proc, aspace, r)
+
+let count_swapped aspace =
+  Page_table.swapped_pages (Address_space.page_table aspace)
+
+let prop_swap_out_fault_in_round_trip =
+  qtest ~count:20 "bytes survive swap-out then demand fault-in"
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let pages = 16 in
+      let machine = Machine.create ~ncores:4 ~phys_mib:64 Cost_model.xeon_6130 in
+      let proc = Process.create machine in
+      let aspace = Process.aspace proc in
+      Address_space.map_range aspace ~va:base ~pages;
+      let rng = Svagc_util.Rng.create ~seed in
+      let payload i =
+        Bytes.init 256 (fun j -> Char.chr ((i + j + Svagc_util.Rng.int rng 251) land 0xff))
+      in
+      let payloads = List.init pages payload in
+      List.iteri
+        (fun i src ->
+          Address_space.write_bytes aspace ~va:(base + (i * Addr.page_size)) ~src)
+        payloads;
+      (* Attach with room for half the pages: adoption + balance evicts. *)
+      let r = Fault_handler.attach machine ~limit_frames:(pages / 2) () in
+      Reclaim.adopt_space r ~pt:(Address_space.page_table aspace)
+        ~asid:(Address_space.asid aspace);
+      Reclaim.balance r;
+      if count_swapped aspace = 0 then
+        QCheck.Test.fail_report "balance evicted nothing";
+      (* read_bytes demand-faults every swapped page back in. *)
+      List.for_all
+        (fun (i, src) ->
+          let back =
+            Address_space.read_bytes aspace
+              ~va:(base + (i * Addr.page_size))
+              ~len:(Bytes.length src)
+          in
+          Bytes.equal back src)
+        (List.mapi (fun i p -> (i, p)) payloads)
+      && machine.Machine.perf.Perf.major_faults > 0)
+
+(* --- The headline: SwapVA slot exchange vs memmove fault-in --- *)
+
+let test_swapva_slot_exchange_no_faults () =
+  let pages = 64 in
+  let machine, proc, aspace, _ = pressured_fixture ~pages in
+  let perf = machine.Machine.perf in
+  Alcotest.(check bool) "half the range is swapped out" true
+    (count_swapped aspace >= pages / 2);
+  (* Peek-based checksums never fault, so they can witness the exchange. *)
+  let len = pages * Addr.page_size in
+  let lo_sum = Address_space.checksum aspace ~va:base ~len in
+  let hi_sum = Address_space.checksum aspace ~va:(base + len) ~len in
+  let faults0 = perf.Perf.major_faults in
+  let swapin0 = perf.Perf.pages_swapped_in in
+  ignore
+    (Swapva.swap proc ~opts:Swapva.default_opts ~src:base ~dst:(base + len)
+       ~pages);
+  Alcotest.(check int) "no major faults" faults0 perf.Perf.major_faults;
+  Alcotest.(check int) "no swap-ins" swapin0 perf.Perf.pages_swapped_in;
+  Alcotest.(check int64) "low half now holds the high bytes" hi_sum
+    (Address_space.checksum aspace ~va:base ~len);
+  Alcotest.(check int64) "high half now holds the low bytes" lo_sum
+    (Address_space.checksum aspace ~va:(base + len) ~len)
+
+let test_memmove_faults_in () =
+  let pages = 64 in
+  let machine, _, aspace, _ = pressured_fixture ~pages in
+  let perf = machine.Machine.perf in
+  let faults0 = perf.Perf.major_faults in
+  let len = pages * Addr.page_size in
+  ignore (Memmove.move aspace ~src:base ~dst:(base + len) ~len);
+  Alcotest.(check bool) "memmove demand-faulted the swapped source" true
+    (perf.Perf.major_faults > faults0);
+  Alcotest.(check bool) "swap-ins happened" true (perf.Perf.pages_swapped_in > 0)
+
+(* --- GC under pressure --- *)
+
+let pressured_gc_run ?fault_spec ?(residency = 0.5) () =
+  (* Pass 1: unlimited footprint; pass 2: capped at [residency] of it. *)
+  let config =
+    match fault_spec with
+    | None -> Config.default
+    | Some s ->
+      { Config.default with Config.fault_spec = s; fault_seed = 7 }
+  in
+  let run limit_frames =
+    let machine = Exp_common.fresh_machine Cost_model.xeon_6130 in
+    (match limit_frames with
+    | Some limit_frames ->
+      ignore (Fault_handler.attach machine ~limit_frames ())
+    | None -> ());
+    let workload = Svagc_workloads.Spec.find "Sigverify" in
+    let jvm =
+      Runner.make_jvm ~heap_factor:1.2 ~machine
+        ~collector_of:(Exp_common.collector_of ~config Exp_common.Svagc)
+        workload
+    in
+    let rng = Svagc_util.Rng.create ~seed:42 in
+    let stepper = workload.Workload.setup jvm rng in
+    for _ = 1 to 20 do
+      stepper ()
+    done;
+    ignore (Jvm.run_gc jvm);
+    (machine, jvm)
+  in
+  let machine, _ = run None in
+  let peak = Phys_mem.frames_in_use machine.Machine.phys in
+  run (Some (max 1 (int_of_float (residency *. float_of_int peak))))
+
+let test_heap_audit_under_pressure () =
+  let machine, jvm = pressured_gc_run () in
+  Alcotest.(check bool) "pressure was real" true
+    (machine.Machine.perf.Perf.pages_swapped_out > 0);
+  match Svagc_heap.Heap.audit (Jvm.heap jvm) with
+  | Ok () -> ()
+  | Error ps ->
+    Alcotest.failf "heap audit failed under 0.5 residency:\n  %s"
+      (String.concat "\n  " ps)
+
+let test_conservation_laws_under_pressure () =
+  let machine, jvm = pressured_gc_run () in
+  let aspace = Process.aspace (Jvm.proc jvm) in
+  let tables =
+    [ (Address_space.asid aspace, Address_space.page_table aspace) ]
+  in
+  let items, findings = Svagc_check.Check.reclaim_laws machine ~tables in
+  Alcotest.(check bool) "laws actually evaluated" true (items > 0);
+  match findings with
+  | [] -> ()
+  | fs ->
+    Alcotest.failf "reclaim laws violated:\n  %s"
+      (String.concat "\n  "
+         (List.map (fun f -> Format.asprintf "%a" Svagc_check.Check.pp_finding f) fs))
+
+(* --- exp pressure --- *)
+
+let test_exp_pressure_deterministic () =
+  let a = Exp_pressure.sweep ~quick:true in
+  let b = Exp_pressure.sweep ~quick:true in
+  Alcotest.(check int) "same grid" (List.length a) (List.length b);
+  List.iter2
+    (fun (p : Exp_pressure.point) (q : Exp_pressure.point) ->
+      Alcotest.(check int64) "gc_ns bits"
+        (Int64.bits_of_float p.Exp_pressure.gc_ns)
+        (Int64.bits_of_float q.Exp_pressure.gc_ns);
+      Alcotest.(check bool) "identical point" true (p = q))
+    a b
+
+let test_exp_pressure_headline () =
+  let points = Exp_pressure.sweep ~quick:true in
+  let find kind residency =
+    match
+      List.find_opt
+        (fun (p : Exp_pressure.point) ->
+          p.Exp_pressure.kind == kind && p.Exp_pressure.residency = residency)
+        points
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "missing sweep point"
+  in
+  let sva_full = find Exp_common.Svagc 1.0 in
+  let sva_half = find Exp_common.Svagc 0.5 in
+  let mm_full = find Exp_common.Lisp2_memmove 1.0 in
+  let mm_half = find Exp_common.Lisp2_memmove 0.5 in
+  (* SwapVA compaction cost stays within noise of its unlimited baseline;
+     the memmove collector pays for faulting the swapped fraction in. *)
+  Alcotest.(check bool) "SwapVA GC time flat under pressure" true
+    (sva_half.Exp_pressure.gc_ns < sva_full.Exp_pressure.gc_ns *. 1.5);
+  Alcotest.(check bool) "memmove GC time grows under pressure" true
+    (mm_half.Exp_pressure.gc_ns > mm_full.Exp_pressure.gc_ns *. 2.0);
+  Alcotest.(check bool) "memmove faults dwarf SwapVA faults" true
+    (mm_half.Exp_pressure.major_faults
+    > 10 * (sva_half.Exp_pressure.major_faults + 1))
+
+(* --- swap fault site --- *)
+
+let test_swap_spec_round_trip () =
+  let t =
+    match Fault_spec.parse "swap:p=0.25,pte:every=8" with
+    | Ok t -> t
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  (match t with
+  | [ s; _ ] ->
+    Alcotest.(check bool) "swap site" true (s.Fault_spec.site = Fault_spec.Swap_io)
+  | _ -> Alcotest.fail "expected two clauses");
+  let printed = Fault_spec.to_string t in
+  match Fault_spec.parse printed with
+  | Ok t' -> Alcotest.(check bool) ("round trip via " ^ printed) true (t = t')
+  | Error m -> Alcotest.failf "reparse %S failed: %s" printed m
+
+let test_eio_swap_after_bounded_retries () =
+  let pages = 8 in
+  let machine = Machine.create ~ncores:2 ~phys_mib:64 Cost_model.xeon_6130 in
+  let r = Fault_handler.attach machine ~limit_frames:pages ~max_io_retries:2 () in
+  let proc = Process.create machine in
+  let aspace = Process.aspace proc in
+  Address_space.map_range aspace ~va:base ~pages:(2 * pages);
+  Alcotest.(check bool) "some pages swapped" true (count_swapped aspace > 0);
+  (* Arm a certain-failure swap device only now, so the evictions above
+     succeeded and the fault-in below must exhaust its retries. *)
+  (match Fault_spec.parse "swap:p=1" with
+  | Ok spec -> machine.Machine.fault <- Some (Svagc_fault.Injector.create spec ~seed:3)
+  | Error m -> Alcotest.failf "spec: %s" m);
+  let swapped_vpn = ref None in
+  Page_table.iter_swapped (Address_space.page_table aspace)
+    ~f:(fun ~vpn ~slot:_ ->
+      if !swapped_vpn = None then swapped_vpn := Some vpn);
+  let va =
+    match !swapped_vpn with
+    | Some vpn -> vpn * Addr.page_size
+    | None -> assert false
+  in
+  (* The call must terminate (bounded retries, bounded kswapd scan budget
+     — under p=1 eviction attempts fail too) and surface the typed error. *)
+  (match
+     Reclaim.fault_in r ~pt:(Address_space.page_table aspace)
+       ~asid:(Address_space.asid aspace) ~va
+   with
+  | () -> Alcotest.fail "fault_in succeeded under swap:p=1"
+  | exception Kernel_error.Fault (Kernel_error.EIO_swap { va = fva }) ->
+    Alcotest.(check int) "typed error names the faulting va" va fva);
+  Alcotest.(check bool) "device errors were counted" true
+    (machine.Machine.perf.Perf.swap_io_errors >= 2);
+  Alcotest.(check bool) "the page is still swapped (slot not leaked)" true
+    (Pte.is_swapped (Page_table.get_pte (Address_space.page_table aspace) va))
+
+let test_swap_rate0_bit_identical () =
+  let zero_spec =
+    match Fault_spec.parse "swap:p=0" with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let machine_a, jvm_a = pressured_gc_run () in
+  let machine_b, jvm_b = pressured_gc_run ~fault_spec:zero_spec () in
+  Alcotest.(check int64) "gc_ns bits"
+    (Int64.bits_of_float (Jvm.gc_ns jvm_a))
+    (Int64.bits_of_float (Jvm.gc_ns jvm_b));
+  Alcotest.(check int64) "app_ns bits"
+    (Int64.bits_of_float (Jvm.app_ns jvm_a))
+    (Int64.bits_of_float (Jvm.app_ns jvm_b));
+  List.iter2
+    (fun (name, a) (_, b) -> Alcotest.(check int) ("counter " ^ name) a b)
+    (Perf.to_assoc machine_a.Machine.perf)
+    (Perf.to_assoc machine_b.Machine.perf)
+
+let () =
+  Alcotest.run "svagc_reclaim"
+    [
+      ( "swap_dev",
+        [ prop_swap_dev_round_trip;
+          Alcotest.test_case "slot reuse" `Quick test_swap_dev_slot_reuse ] );
+      ( "round_trip",
+        [ prop_swap_out_fault_in_round_trip ] );
+      ( "fast_path",
+        [
+          Alcotest.test_case "SwapVA exchanges slots without faulting" `Quick
+            test_swapva_slot_exchange_no_faults;
+          Alcotest.test_case "memmove faults both sides in" `Quick
+            test_memmove_faults_in;
+        ] );
+      ( "gc_under_pressure",
+        [
+          Alcotest.test_case "heap audit at 0.5 residency" `Slow
+            test_heap_audit_under_pressure;
+          Alcotest.test_case "conservation laws" `Slow
+            test_conservation_laws_under_pressure;
+        ] );
+      ( "exp_pressure",
+        [
+          Alcotest.test_case "deterministic across two runs" `Slow
+            test_exp_pressure_deterministic;
+          Alcotest.test_case "headline shape" `Slow test_exp_pressure_headline;
+        ] );
+      ( "swap_faults",
+        [
+          Alcotest.test_case "grammar round trip" `Quick test_swap_spec_round_trip;
+          Alcotest.test_case "EIO_swap after bounded retries" `Quick
+            test_eio_swap_after_bounded_retries;
+          Alcotest.test_case "rate 0 bit-identical" `Slow
+            test_swap_rate0_bit_identical;
+        ] );
+    ]

@@ -434,6 +434,8 @@ let test_perf_copy_is_snapshot () =
         ("shootdown_broadcasts", 0); ("pins", 0); ("gc_cycles", 0);
         ("swap_retries", 0); ("swap_fallbacks", 0); ("alloc_waste_bytes", 0);
         ("alloc_bytes", 1 lsl 20);
+        ("pages_swapped_out", 0); ("pages_swapped_in", 0); ("major_faults", 0);
+        ("reclaim_scans", 0); ("kswapd_wakes", 0); ("swap_io_errors", 0);
       ])
 
 let test_perf_reset () =
@@ -471,8 +473,8 @@ let test_perf_diff_self_is_zero () =
 
 let test_perf_to_assoc_covers_all_counters () =
   let names = List.map fst (Perf.to_assoc (Perf.create ())) in
-  Alcotest.(check int) "23 counters" 23 (List.length names);
-  Alcotest.(check int) "no duplicate names" 23
+  Alcotest.(check int) "29 counters" 29 (List.length names);
+  Alcotest.(check int) "no duplicate names" 29
     (List.length (List.sort_uniq compare names))
 
 let () =
