@@ -468,6 +468,130 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ cases $ seed $ exps $ quick_arg)
 
+let fleet_cmd =
+  let module Fleet = Svagc_fleet.Fleet in
+  let doc =
+    "Multi-tenant fleet simulation: heterogeneous tenants admitted against \
+     an overcommitted budget, memory-cgroup soft/hard residency limits, \
+     and a two-tier (local + far-memory) swap device. Reports per-tenant \
+     p50/p99/p999 GC pauses and allocation stalls."
+  in
+  let d = Fleet.default in
+  let tenants =
+    Arg.(
+      value & opt int d.Fleet.tenants
+      & info [ "tenants" ] ~docv:"N" ~doc:"Main-cohort tenant count.")
+  in
+  let surge =
+    Arg.(
+      value & opt int d.Fleet.surge
+      & info [ "surge" ] ~docv:"N"
+          ~doc:
+            "Late arrivals after the budget is spent; they queue (up to \
+             $(b,--queue-limit)) or are rejected.")
+  in
+  let overcommit =
+    Arg.(
+      value & opt float d.Fleet.overcommit
+      & info [ "overcommit" ] ~docv:"X"
+          ~doc:"Committed-to-resident ratio the pool is sized for (>= 1).")
+  in
+  let steps =
+    Arg.(
+      value & opt int d.Fleet.steps
+      & info [ "steps" ] ~doc:"Mutator steps per tenant.")
+  in
+  let seed =
+    Arg.(value & opt int d.Fleet.seed & info [ "seed" ] ~doc:"Base RNG seed.")
+  in
+  let cgroup_soft =
+    Arg.(
+      value & opt float d.Fleet.cgroup_soft
+      & info [ "cgroup-soft" ] ~docv:"FRAC"
+          ~doc:
+            "Per-tenant cgroup soft limit as a fraction of its heap pages; \
+             kswapd prefers over-soft tenants' pages when evicting.")
+  in
+  let cgroup_hard =
+    Arg.(
+      value & opt float d.Fleet.cgroup_hard
+      & info [ "cgroup-hard" ] ~docv:"FRAC"
+          ~doc:
+            "Per-tenant cgroup hard limit as a fraction of its heap pages \
+             (also the tenant's admission commitment); enforced by direct \
+             reclaim on every mapping.")
+  in
+  let far_tier_cost =
+    Arg.(
+      value & opt float d.Fleet.far_tier_cost
+      & info [ "far-tier-cost" ] ~docv:"X"
+          ~doc:"Far-memory tier latency as a multiple of the near tier's.")
+  in
+  let near_frac =
+    Arg.(
+      value & opt float d.Fleet.near_frac
+      & info [ "near-frac" ] ~docv:"FRAC"
+          ~doc:
+            "Near-tier (local NVMe) slot count as a fraction of the pool; \
+             beyond it, the coldest slots demote to the far tier.")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int d.Fleet.queue_limit
+      & info [ "queue-limit" ] ~docv:"N" ~doc:"Admission wait-queue capacity.")
+  in
+  let collectors =
+    Arg.(
+      value
+      & opt_all collector_conv
+          [
+            Svagc_experiments.Exp_common.Svagc;
+            Svagc_experiments.Exp_common.Lisp2_memmove;
+          ]
+      & info [ "c"; "collector" ] ~docv:"COLLECTOR"
+          ~doc:"svagc | memmove | parallelgc | shenandoah (repeatable).")
+  in
+  let run tenants surge overcommit steps seed cgroup_soft cgroup_hard
+      far_tier_cost near_frac queue_limit collectors check =
+    let config =
+      {
+        Fleet.tenants;
+        surge;
+        overcommit;
+        steps;
+        seed;
+        cgroup_soft;
+        cgroup_hard;
+        far_tier_cost;
+        near_frac;
+        queue_limit;
+      }
+    in
+    if check then Svagc_check.Check.enable ~label:"fleet" ();
+    Report.section
+      (Printf.sprintf "fleet: %d + %d tenants @ %gx overcommit" tenants surge
+         overcommit);
+    let results =
+      List.map
+        (fun kind ->
+          Fleet.run
+            ~collector_of:(Svagc_experiments.Exp_common.collector_of kind)
+            ~label:(Svagc_experiments.Exp_common.collector_name kind)
+            config)
+        collectors
+    in
+    Svagc_experiments.Exp_fleet.print_results results;
+    if check then
+      match Svagc_check.Check.disable () with
+      | Some rep -> if print_check_report rep then exit 1
+      | None -> ()
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const run $ tenants $ surge $ overcommit $ steps $ seed $ cgroup_soft
+      $ cgroup_hard $ far_tier_cost $ near_frac $ queue_limit $ collectors
+      $ check_flag)
+
 let threshold_cmd =
   let doc = "Print the SwapVA/memmove break-even sweep (Fig. 10)." in
   Cmd.v (Cmd.info "threshold" ~doc)
@@ -476,6 +600,6 @@ let threshold_cmd =
 let main =
   let doc = "SVAGC: GC with scalable virtual-address swapping (simulation)" in
   Cmd.group (Cmd.info "svagc" ~version:"1.0.0" ~doc)
-    [ list_cmd; exp_cmd; bench_cmd; threshold_cmd; trace_cmd; check_cmd ]
+    [ list_cmd; exp_cmd; bench_cmd; fleet_cmd; threshold_cmd; trace_cmd; check_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -149,6 +149,18 @@ let counter_laws machine =
     (p.Perf.major_faults >= p.Perf.pages_swapped_in)
     "major_faults = %d < pages_swapped_in = %d" p.Perf.major_faults
     p.Perf.pages_swapped_in;
+  (* Tiered-device accounting: a promotion is a fault served from the far
+     tier, so it rides a swap-in; a demotion moves a slot some swap-out
+     created, and a slot demotes at most once per lifetime (promotion
+     frees it), so demotions never outnumber swap-outs. *)
+  law a "counter-law"
+    (p.Perf.tier_promotions <= p.Perf.pages_swapped_in)
+    "tier_promotions = %d exceeds pages_swapped_in = %d"
+    p.Perf.tier_promotions p.Perf.pages_swapped_in;
+  law a "counter-law"
+    (p.Perf.tier_demotions <= p.Perf.pages_swapped_out)
+    "tier_demotions = %d exceeds pages_swapped_out = %d"
+    p.Perf.tier_demotions p.Perf.pages_swapped_out;
   result a
 
 (* --- reclaim conservation laws --- *)
@@ -204,6 +216,87 @@ let reclaim_laws machine ~tables =
       (Phys_mem.frames_in_use machine.Machine.phys)
       (Phys_mem.capacity_frames machine.Machine.phys);
     result a
+
+(* --- fleet cgroup / tier conservation laws --- *)
+
+(* Run only when the reclaim plane carries a cgroup accounting plane
+   ([ri_cgroup_stats] non-empty); a fleet-free machine skips the pass
+   entirely, keeping non-fleet check reports identical.  [tables] must
+   cover every address space, as for {!reclaim_laws}. *)
+let cgroup_laws machine ~tables =
+  let a = acc () in
+  match machine.Machine.reclaim with
+  | None -> result a
+  | Some r ->
+    let stats = r.Machine.ri_cgroup_stats () in
+    if stats = [] then result a
+    else begin
+      (* Resident pages per tenant, recounted from the page tables. *)
+      let present = Hashtbl.create 64 in
+      List.iter
+        (fun (asid, pt) ->
+          Page_table.iter_mapped pt ~f:(fun ~vpn:_ ~frame:_ ->
+              Hashtbl.replace present asid
+                (1 + Option.value ~default:0 (Hashtbl.find_opt present asid))))
+        tables;
+      let total_resident = ref 0 in
+      List.iter
+        (fun (asid, resident, soft, hard) ->
+          total_resident := !total_resident + resident;
+          law a "cgroup-limits"
+            (0 <= soft && soft <= hard)
+            "asid %d has soft = %d > hard = %d" asid soft hard;
+          law a "cgroup-hard"
+            (resident <= hard)
+            "asid %d holds %d resident pages above its hard limit %d" asid
+            resident hard;
+          (* The charge/uncharge plane must agree with the page tables for
+             every tenant the oracle can see. *)
+          match List.assoc_opt asid tables with
+          | None -> ()
+          | Some _ ->
+            let truth =
+              Option.value ~default:0 (Hashtbl.find_opt present asid)
+            in
+            law a "cgroup-accounting"
+              (resident = truth)
+              "asid %d charged for %d resident pages but its page table \
+               holds %d present PTEs"
+              asid resident truth)
+        stats;
+      (* Pool conservation: every resident frame is charged to exactly one
+         tenant.  Sound only when every space with present PTEs belongs to
+         a registered tenant; implicit tenant creation on first charge
+         guarantees that for fleet runs. *)
+      let in_stats asid =
+        List.exists (fun (a0, _, _, _) -> a0 = asid) stats
+      in
+      let covered =
+        List.for_all
+          (fun (asid, _) ->
+            in_stats asid
+            || Option.value ~default:0 (Hashtbl.find_opt present asid) = 0)
+          tables
+      in
+      if covered then
+        law a "cgroup-conservation"
+          (!total_resident = Phys_mem.frames_in_use machine.Machine.phys)
+          "tenants are charged for %d resident pages but the machine holds \
+           %d frames"
+          !total_resident
+          (Phys_mem.frames_in_use machine.Machine.phys);
+      (* Tier conservation: demote/promote moves payloads between tiers
+         but never creates or leaks a slot. *)
+      (match r.Machine.ri_tier_stats () with
+      | None -> ()
+      | Some (near, far) ->
+        law a "tier-conservation"
+          (near + far = r.Machine.ri_slots_in_use ())
+          "near (%d) + far (%d) slots disagree with the device total %d" near
+          far
+          (r.Machine.ri_slots_in_use ()));
+      result a
+    end
 
 (* --- GC cycle accounting --- *)
 
@@ -550,8 +643,12 @@ let post_gc ?(label = "gc") heap cycle =
     fold s (heap_invariants ~label heap);
     fold s (tlb_coherence machine ~tables:st.tables);
     fold s (counter_laws machine);
-    if machine.Machine.reclaim <> None then
-      fold s (reclaim_laws machine ~tables:st.tables)
+    (match machine.Machine.reclaim with
+    | None -> ()
+    | Some r ->
+      fold s (reclaim_laws machine ~tables:st.tables);
+      if r.Machine.ri_cgroup_stats () <> [] then
+        fold s (cgroup_laws machine ~tables:st.tables))
 
 let observe_tracer tracer =
   match !shadow with

@@ -81,6 +81,20 @@ val reclaim_laws :
     exactly one page).  [tables] must cover all the machine's address
     spaces — shadow mode registers them at creation. *)
 
+val cgroup_laws :
+  Svagc_vmem.Machine.t ->
+  tables:(int * Svagc_vmem.Page_table.t) list ->
+  int * finding list
+(** Fleet cgroup and swap-tier conservation, evaluated only when the
+    reclaim plane carries a cgroup accounting plane ([ri_cgroup_stats]
+    non-empty; trivially passes otherwise): per-tenant limits are sane
+    ([soft <= hard]), no tenant holds more resident pages than its hard
+    limit, each tenant's charge equals its page table's present-PTE
+    count, the charges sum to the machine's resident frames (when every
+    populated space belongs to a tenant), and — on a tiered device —
+    near + far slots in use equal the device total (demotion/promotion
+    neither leaks nor forges slots). *)
+
 val cycle_laws : ?label:string -> Svagc_gc.Gc_stats.cycle -> int * finding list
 (** Per-cycle accounting: phase times non-negative,
     [swapped_objects <= moved_objects], byte counters non-negative and

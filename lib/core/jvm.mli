@@ -33,6 +33,11 @@ val machine : t -> Machine.t
 
 val collector : t -> Svagc_gc.Gc_intf.t
 
+val alloc_cost_ns : float
+(** App-clock cost charged per {!alloc} (bump pointer + header init);
+    exposed so drivers measuring allocation stalls can subtract the
+    nominal cost from the observed app-clock delta. *)
+
 val alloc : ?thread:int -> t -> size:int -> n_refs:int -> cls:int -> Obj_model.t
 (** TLAB allocation when [thread] is given, shared-space otherwise.  Runs a
     GC and retries on exhaustion.  @raise Out_of_memory when even the

@@ -13,6 +13,8 @@ type t
 val create :
   ?mem_limit_frames:int ->
   ?swap_cost_ns:float ->
+  ?swap_dev:Svagc_reclaim.Reclaim.dev_iface ->
+  ?cgroup:Svagc_reclaim.Reclaim.cgroup_iface ->
   Machine.t ->
   instances:int ->
   spawn:(index:int -> Machine.t -> Jvm.t) ->
@@ -21,7 +23,11 @@ val create :
     [mem_limit_frames] turns on overcommit: every tenant contends for one
     shared resident-frame pool (the reclaim plane is attached to the
     machine before any JVM is spawned), with [swap_cost_ns] optionally
-    overriding both swap-device latencies. *)
+    overriding both swap-device latencies, [swap_dev] substituting a
+    custom (e.g. tiered) device and [cgroup] installing per-tenant
+    resident accounting — both forwarded to
+    [Svagc_kernel.Fault_handler.attach] and ignored when a reclaimer is
+    already attached. *)
 
 val jvms : t -> Jvm.t array
 

@@ -1,0 +1,86 @@
+(* Per-tenant resident-page accounting over the shared frame pool.  Pure
+   state: the reclaimer drives it through the closure record built by
+   [iface], charging/uncharging as pages enter/leave its tracking table,
+   and consults the soft/hard limits for victim selection and hard-limit
+   enforcement.  A tenant is created implicitly (unlimited) on its first
+   charge — heap pages map during spawn, typically before the fleet
+   driver registers limits. *)
+
+type tenant = {
+  asid : int;
+  mutable resident : int;
+  mutable soft : int;
+  mutable hard : int;
+}
+
+type t = {
+  tenants : (int, tenant) Hashtbl.t;
+  (* Tenants currently over their soft limit, maintained incrementally so
+     the kswapd wake check is O(1). *)
+  mutable over_soft : int;
+}
+
+let create () = { tenants = Hashtbl.create 256; over_soft = 0 }
+
+let find t asid =
+  match Hashtbl.find_opt t.tenants asid with
+  | Some tn -> tn
+  | None ->
+    let tn = { asid; resident = 0; soft = max_int; hard = max_int } in
+    Hashtbl.add t.tenants asid tn;
+    tn
+
+(* Track the over-soft population across any mutation of [tn]. *)
+let update t tn f =
+  let was = tn.resident > tn.soft in
+  f tn;
+  let is = tn.resident > tn.soft in
+  if is && not was then t.over_soft <- t.over_soft + 1
+  else if was && not is then t.over_soft <- t.over_soft - 1
+
+let charge t ~asid = update t (find t asid) (fun tn -> tn.resident <- tn.resident + 1)
+
+let uncharge t ~asid =
+  update t (find t asid) (fun tn -> tn.resident <- tn.resident - 1)
+
+let set_limits t ~asid ~soft ~hard =
+  if hard < 1 then invalid_arg "Cgroup.set_limits: hard must be >= 1";
+  if soft < 0 || soft > hard then
+    invalid_arg "Cgroup.set_limits: need 0 <= soft <= hard";
+  update t (find t asid) (fun tn ->
+      tn.soft <- soft;
+      tn.hard <- hard)
+
+let resident t ~asid =
+  match Hashtbl.find_opt t.tenants asid with
+  | Some tn -> tn.resident
+  | None -> 0
+
+let excess t ~asid =
+  match Hashtbl.find_opt t.tenants asid with
+  | Some tn -> Stdlib.max 0 (tn.resident - tn.hard)
+  | None -> 0
+
+let prefer t ~asid =
+  match Hashtbl.find_opt t.tenants asid with
+  | Some tn -> tn.resident > tn.soft
+  | None -> false
+
+let any_over_soft t = t.over_soft > 0
+
+let tenant_count t = Hashtbl.length t.tenants
+
+let stats t =
+  Hashtbl.fold (fun _ tn acc -> (tn.asid, tn.resident, tn.soft, tn.hard) :: acc)
+    t.tenants []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+let iface t =
+  {
+    Svagc_reclaim.Reclaim.cg_charge = (fun ~asid -> charge t ~asid);
+    cg_uncharge = (fun ~asid -> uncharge t ~asid);
+    cg_excess = (fun ~asid -> excess t ~asid);
+    cg_prefer = (fun ~asid -> prefer t ~asid);
+    cg_any_over_soft = (fun () -> any_over_soft t);
+    cg_stats = (fun () -> stats t);
+  }

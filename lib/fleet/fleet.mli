@@ -1,0 +1,72 @@
+(** The fleet driver: 1k+ heterogeneous tenants on one overcommitted
+    node, tying together {!Admission} (who runs), {!Cgroup} (per-tenant
+    residency limits), {!Swap_tier} (where cold pages go) and
+    [Multi_jvm] (copy-bandwidth contention while a wave runs).
+
+    Tenants arrive in id order and commit their hard limit of resident
+    frames; the pool is sized so the main cohort is exactly [overcommit]
+    times oversubscribed.  Admitted tenants run as a wave of co-running
+    JVMs (round-robin mutator steps, shared copy bandwidth); queued
+    tenants run in later waves as commitments release; the rest are
+    rejected.  Per-tenant GC-pause and allocation-stall distributions are
+    collected into {!Svagc_util.Histogram}s so p50/p99/p999 — not just
+    means — survive into the result. *)
+
+type config = {
+  tenants : int;  (* main cohort, all sized to fit the overcommit budget *)
+  surge : int;  (* late arrivals that exercise the queue and rejection *)
+  overcommit : float;  (* committed : pool ratio the node is run at *)
+  steps : int;  (* mutator steps per tenant *)
+  seed : int;
+  cgroup_soft : float;  (* soft limit as a fraction of the tenant's heap *)
+  cgroup_hard : float;  (* hard limit as a fraction of the tenant's heap *)
+  far_tier_cost : float;  (* far-tier latency multiplier over near *)
+  near_frac : float;  (* near-tier slots as a fraction of the pool *)
+  queue_limit : int;  (* admission wait-queue capacity *)
+}
+
+val default : config
+(** 1000 tenants + 50 surge arrivals at 2x overcommit, 10 steps,
+    soft = 0.5 / hard = 1.0 of each heap, 4x far tier over half the
+    pool, queue capacity 24. *)
+
+type tenant_stats = {
+  t_id : int;
+  t_class : string;
+  t_heap_pages : int;
+  mutable t_decision : Admission.decision;
+  mutable t_wave : int;  (** which wave ran it; -1 = never ran *)
+  t_gc_pauses : Svagc_util.Histogram.t;
+  t_stalls : Svagc_util.Histogram.t;
+  mutable t_gc_ns : float;
+  mutable t_app_ns : float;
+  mutable t_gc_count : int;
+}
+
+type result = {
+  label : string;
+  config : config;
+  pool_frames : int;
+  committed_frames : int;  (** peak: the main cohort's total commitment *)
+  near_slots : int;
+  waves : int;
+  admitted : int;
+  queued : int;
+  rejected : int;
+  stats : tenant_stats array;  (** by tenant id, rejected ones included *)
+  pauses : Svagc_util.Histogram.t;  (** all GC pauses, all tenants *)
+  stalls : Svagc_util.Histogram.t;  (** all per-step allocation stalls *)
+  max_tenant_p99_pause : float;
+  total_ns : float;  (** sum over waves of the slowest tenant's clock *)
+  perf : Svagc_vmem.Perf.t;
+  tier : int * int;  (** final (near_in_use, far_in_use) *)
+}
+
+val run :
+  collector_of:(Svagc_heap.Heap.t -> Svagc_gc.Gc_intf.t) ->
+  ?label:string ->
+  config ->
+  result
+(** Deterministic: same [config] (seed included) and collector replay
+    every admission decision, demotion, promotion and percentile to the
+    bit.  @raise Invalid_argument on nonsensical configs. *)

@@ -1,8 +1,11 @@
 open Svagc_vmem
 module Reclaim = Svagc_reclaim.Reclaim
 
-let attach machine ~limit_frames ?swap_cost_ns ?max_io_retries () =
-  let r = Reclaim.create machine ~limit_frames ?swap_cost_ns ?max_io_retries () in
+let attach machine ~limit_frames ?swap_cost_ns ?max_io_retries ?dev ?cgroup () =
+  let r =
+    Reclaim.create machine ~limit_frames ?swap_cost_ns ?max_io_retries ?dev ()
+  in
+  Reclaim.set_cgroup r cgroup;
   let iface =
     {
       Machine.ri_page_mapped =
@@ -16,6 +19,8 @@ let attach machine ~limit_frames ?swap_cost_ns ?max_io_retries () =
       ri_slot_allocated = (fun ~slot -> Reclaim.slot_allocated r ~slot);
       ri_slots_in_use = (fun () -> Reclaim.slots_in_use r);
       ri_drain_ns = (fun () -> Reclaim.drain_ns r);
+      ri_cgroup_stats = (fun () -> Reclaim.cgroup_stats r);
+      ri_tier_stats = (fun () -> Reclaim.tier_stats r);
     }
   in
   machine.Machine.reclaim <- Some iface;

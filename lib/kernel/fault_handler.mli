@@ -14,6 +14,8 @@ val attach :
   limit_frames:int ->
   ?swap_cost_ns:float ->
   ?max_io_retries:int ->
+  ?dev:Svagc_reclaim.Reclaim.dev_iface ->
+  ?cgroup:Svagc_reclaim.Reclaim.cgroup_iface ->
   unit ->
   Svagc_reclaim.Reclaim.t
 (** Create the reclaim state and install the closure record on
@@ -22,7 +24,10 @@ val attach :
     {!attached} to guard.  [swap_cost_ns] overrides both device
     latencies; [max_io_retries] (default 3) bounds device attempts per
     transfer before the swap-out skips the page / the fault surfaces
-    [EIO_swap].
+    [EIO_swap].  [dev] replaces the flat swap device with a custom one
+    (e.g. the fleet layer's tiered far-memory device); [cgroup] installs
+    per-tenant resident accounting.  Omitting both keeps the machine
+    bit-identical to the pre-fleet reclaimer.
     @raise Invalid_argument if [limit_frames <= 0]. *)
 
 val attached : Svagc_vmem.Machine.t -> bool

@@ -61,13 +61,50 @@ let lru_remove l p =
   p.p_on <- Nowhere;
   l.size <- l.size - 1
 
+(* A pluggable swap device as a record of closures, mirroring the
+   dependency inversion of [Machine.reclaim_iface] one level up: the
+   tiered far-memory device lives in [svagc_fleet], which sits above this
+   library.  [d_out_ns]/[d_in_ns] are per-attempt transfer costs —
+   [d_out_ns] is queried {e before} the slot is allocated (so a tiered
+   device reports the cost of the demotion the next allocation will
+   trigger without mutating anything), [d_in_ns] is the cost of reading
+   [slot] (a far-tier slot is slower).  The default device wraps a flat
+   {!Swap_dev} with constant costs and is bit-identical to the
+   pre-iface reclaimer. *)
+type dev_iface = {
+  d_alloc_slot : unit -> int;
+  d_free_slot : int -> unit;
+  d_write : slot:int -> bytes option -> unit;
+  d_read : slot:int -> bytes option;
+  d_peek : slot:int -> bytes option;
+  d_allocated : slot:int -> bool;
+  d_slots_in_use : unit -> int;
+  d_out_ns : unit -> float;
+  d_in_ns : slot:int -> float;
+  d_tier_stats : unit -> (int * int) option;
+}
+
+(* Per-tenant resident accounting, also inverted: the cgroup state lives
+   in [svagc_fleet].  [cg_charge]/[cg_uncharge] fire exactly when a page
+   enters/leaves the tracking table, so a tenant's resident count is its
+   tracked-node count.  [cg_prefer] marks tenants over their soft limit
+   (preferred eviction victims); [cg_excess] is pages above the hard
+   limit; [cg_any_over_soft] must be O(1) — kswapd consults it on every
+   wake. *)
+type cgroup_iface = {
+  cg_charge : asid:int -> unit;
+  cg_uncharge : asid:int -> unit;
+  cg_excess : asid:int -> int;
+  cg_prefer : asid:int -> bool;
+  cg_any_over_soft : unit -> bool;
+  cg_stats : unit -> (int * int * int * int) list;
+}
+
 type t = {
   machine : Machine.t;
-  dev : Swap_dev.t;
+  dev : dev_iface;
   limit : int;
   gap : int;  (* hysteresis: each wake evicts down to [limit - gap] *)
-  swap_out_ns : float;
-  swap_in_ns : float;
   major_fault_ns : float;
   max_io_retries : int;
   active : lru;
@@ -78,24 +115,44 @@ type t = {
   pages : (int * int, page) Hashtbl.t;
   mutable pending_ns : float;
   mutable in_kswapd : bool;
+  mutable cgroup : cgroup_iface option;
 }
 
-let create machine ~limit_frames ?swap_cost_ns ?(max_io_retries = 3) () =
+let flat_dev ~swap_out_ns ~swap_in_ns =
+  let d = Swap_dev.create () in
+  {
+    d_alloc_slot = (fun () -> Swap_dev.alloc_slot d);
+    d_free_slot = (fun slot -> Swap_dev.free_slot d slot);
+    d_write = (fun ~slot b -> Swap_dev.write d ~slot b);
+    d_read = (fun ~slot -> Swap_dev.read d ~slot);
+    d_peek = (fun ~slot -> Swap_dev.peek d ~slot);
+    d_allocated = (fun ~slot -> Swap_dev.allocated d ~slot);
+    d_slots_in_use = (fun () -> Swap_dev.slots_in_use d);
+    d_out_ns = (fun () -> swap_out_ns);
+    d_in_ns = (fun ~slot:_ -> swap_in_ns);
+    d_tier_stats = (fun () -> None);
+  }
+
+let create machine ~limit_frames ?swap_cost_ns ?(max_io_retries = 3) ?dev () =
   if limit_frames <= 0 then
     invalid_arg "Reclaim.create: limit_frames must be positive";
   let cost = machine.Machine.cost in
-  let swap_out_ns, swap_in_ns =
-    match swap_cost_ns with
-    | Some ns -> (ns, ns)
-    | None -> (cost.Cost_model.swap_out_ns, cost.Cost_model.swap_in_ns)
+  let dev =
+    match dev with
+    | Some d -> d
+    | None ->
+      let swap_out_ns, swap_in_ns =
+        match swap_cost_ns with
+        | Some ns -> (ns, ns)
+        | None -> (cost.Cost_model.swap_out_ns, cost.Cost_model.swap_in_ns)
+      in
+      flat_dev ~swap_out_ns ~swap_in_ns
   in
   {
     machine;
-    dev = Swap_dev.create ();
+    dev;
     limit = limit_frames;
     gap = max 1 (limit_frames / 16);
-    swap_out_ns;
-    swap_in_ns;
     major_fault_ns = cost.Cost_model.major_fault_ns;
     max_io_retries;
     active = lru_create On_active;
@@ -103,7 +160,16 @@ let create machine ~limit_frames ?swap_cost_ns ?(max_io_retries = 3) () =
     pages = Hashtbl.create 1024;
     pending_ns = 0.0;
     in_kswapd = false;
+    cgroup = None;
   }
+
+let set_cgroup t cg =
+  t.cgroup <- cg;
+  (* Adopt pages tracked before the cgroup plane existed (a tenant's heap
+     maps during spawn, often before its limits are registered). *)
+  match cg with
+  | None -> ()
+  | Some c -> Hashtbl.iter (fun (asid, _) _ -> c.cg_charge ~asid) t.pages
 
 let limit_frames t = t.limit
 
@@ -114,12 +180,20 @@ let drain_ns t =
   t.pending_ns <- 0.0;
   ns
 
+(* Forget a node: the (asid, vpn) key leaves the tracking table and the
+   tenant's resident count drops with it. *)
+let untrack t p =
+  Hashtbl.remove t.pages (p.p_asid, p.p_vpn);
+  match t.cgroup with
+  | Some cg -> cg.cg_uncharge ~asid:p.p_asid
+  | None -> ()
+
 let drop_node t p =
   (match p.p_on with
   | On_active -> lru_remove t.active p
   | On_inactive -> lru_remove t.inactive p
   | Nowhere -> ());
-  Hashtbl.remove t.pages (p.p_asid, p.p_vpn)
+  untrack t p
 
 (* One swap-device transfer with a bounded retry against the machine's
    fault plane; each attempt (including failed ones) pays [cost_ns]. *)
@@ -151,10 +225,10 @@ let swap_out t (p : page) =
   if not (Pte.is_present pte) then begin
     (* Stale node: the entry at this va was swapped or remapped under us
        (compaction churn); tracking catches up at the next resync. *)
-    Hashtbl.remove t.pages (p.p_asid, p.p_vpn);
+    untrack t p;
     false
   end
-  else if not (swap_io_ok t ~va ~cost_ns:t.swap_out_ns) then begin
+  else if not (swap_io_ok t ~va ~cost_ns:(t.dev.d_out_ns ())) then begin
     (* Device refused every attempt: skip this page, give it another
        round through the active list. *)
     p.p_ref <- true;
@@ -163,9 +237,8 @@ let swap_out t (p : page) =
   end
   else begin
     let frame = Pte.frame_exn pte in
-    let slot = Swap_dev.alloc_slot t.dev in
-    Swap_dev.write t.dev ~slot
-      (Phys_mem.frame_contents t.machine.Machine.phys frame);
+    let slot = t.dev.d_alloc_slot () in
+    t.dev.d_write ~slot (Phys_mem.frame_contents t.machine.Machine.phys frame);
     Phys_mem.free_frame t.machine.Machine.phys frame;
     Page_table.set_pte p.p_pt va (Pte.make_swapped ~slot);
     (* The frame is gone: invalidate any cached translation everywhere
@@ -176,7 +249,7 @@ let swap_out t (p : page) =
     perf.Perf.tlb_flush_page <- perf.Perf.tlb_flush_page + 1;
     charge t t.machine.Machine.cost.Cost_model.tlb_flush_page_ns;
     perf.Perf.pages_swapped_out <- perf.Perf.pages_swapped_out + 1;
-    Hashtbl.remove t.pages (p.p_asid, p.p_vpn);
+    untrack t p;
     if Tracer.tracing () then
       Tracer.instant ~cat:"reclaim"
         ~args:
@@ -209,6 +282,28 @@ let balance_incoming t ~incoming =
     let scans_before = perf.Perf.reclaim_scans in
     let target = max 0 (t.limit - t.gap) in
     let budget = ref ((2 * (t.active.size + t.inactive.size)) + 64) in
+    (* Soft-limit-first victim selection: while some tenant is over its
+       soft limit, pages of under-soft tenants are rescued to the active
+       head instead of evicted (like a second chance, without needing a
+       touch), so the over-soft tenants' cold pages surface first.  The
+       rotation allowance (one full pass over the lists, refreshed per
+       wake) bounds the detour — once spent, or once no tenant is over
+       soft, plain second-chance LRU resumes. *)
+    let rotations =
+      ref
+        (match t.cgroup with
+        | Some cg when cg.cg_any_over_soft () ->
+          t.active.size + t.inactive.size
+        | _ -> 0)
+    in
+    let spare p =
+      !rotations > 0
+      &&
+      match t.cgroup with
+      | Some cg ->
+        cg.cg_any_over_soft () && not (cg.cg_prefer ~asid:p.p_asid)
+      | None -> false
+    in
     while
       Phys_mem.frames_in_use phys + incoming > target
       && !budget > 0
@@ -221,6 +316,10 @@ let balance_incoming t ~incoming =
         if p.p_ref then begin
           (* Second chance: touched while inactive. *)
           p.p_ref <- false;
+          lru_push_front t.active p
+        end
+        else if spare p then begin
+          decr rotations;
           lru_push_front t.active p
         end
         else ignore (swap_out t p)
@@ -266,14 +365,61 @@ let track t ~pt ~asid ~va =
       }
     in
     Hashtbl.add t.pages (asid, vpn) p;
+    (match t.cgroup with Some cg -> cg.cg_charge ~asid | None -> ());
     lru_push_front t.active p
+
+(* Evict up to [excess] resident pages of one tenant, coldest first
+   (inactive back-to-front, then active back-to-front), regardless of the
+   global watermark — the hard-limit enforcement path.  [protect] shields
+   the page the caller is in the middle of producing (a fresh mapping or
+   a just-faulted page), whose eviction would break the caller's
+   postcondition. *)
+let shrink_asid t ~asid ~excess ~protect =
+  if excess > 0 then begin
+    let evicted = ref 0 in
+    let collect l =
+      let nodes = ref [] in
+      let cur = ref l.last in
+      while !cur <> None do
+        match !cur with
+        | Some p ->
+          if p.p_asid = asid && protect <> Some p.p_vpn then
+            nodes := p :: !nodes;
+          cur := p.p_prev
+        | None -> ()
+      done;
+      (* Back-to-front: coldest candidates first. *)
+      List.rev !nodes
+    in
+    let try_evict p =
+      if !evicted < excess && p.p_on <> Nowhere then begin
+        (match p.p_on with
+        | On_active -> lru_remove t.active p
+        | On_inactive -> lru_remove t.inactive p
+        | Nowhere -> ());
+        if swap_out t p then incr evicted
+      end
+    in
+    List.iter try_evict (collect t.inactive);
+    if !evicted < excess then List.iter try_evict (collect t.active)
+  end
+
+let enforce t ~asid ~protect =
+  match t.cgroup with
+  | None -> ()
+  | Some cg ->
+    let excess = cg.cg_excess ~asid in
+    if excess > 0 then shrink_asid t ~asid ~excess ~protect
+
+let enforce_hard t ~asid = enforce t ~asid ~protect:None
 
 let page_mapped t ~pt ~asid ~va =
   track t ~pt ~asid ~va;
-  balance t
+  balance t;
+  enforce t ~asid ~protect:(Some (Addr.page_number va))
 
 let page_unmapped t ~asid ~va ~pte =
-  if Pte.is_swapped pte then Swap_dev.free_slot t.dev (Pte.swap_slot_exn pte);
+  if Pte.is_swapped pte then t.dev.d_free_slot (Pte.swap_slot_exn pte);
   match Hashtbl.find_opt t.pages (asid, Addr.page_number va) with
   | Some p -> drop_node t p
   | None -> ()
@@ -296,7 +442,10 @@ let adopt_space t ~pt ~asid =
      page-table walk order. *)
   Page_table.iter_mapped pt ~f:(fun ~vpn ~frame:_ ->
       if not (Hashtbl.mem t.pages (asid, vpn)) then
-        track t ~pt ~asid ~va:(vpn * Addr.page_size))
+        track t ~pt ~asid ~va:(vpn * Addr.page_size));
+  (* The resync may have revealed pages this tenant acquired since the
+     last notification; settle its hard limit before handing back. *)
+  enforce t ~asid ~protect:None
 
 let fault_in t ~pt ~asid ~va =
   let pte = Page_table.get_pte pt va in
@@ -309,20 +458,21 @@ let fault_in t ~pt ~asid ~va =
        caller's fault-then-retry loop terminate. *)
     balance_incoming t ~incoming:1;
     let slot = Pte.swap_slot_exn pte in
-    if not (swap_io_ok t ~va ~cost_ns:t.swap_in_ns) then
+    if not (swap_io_ok t ~va ~cost_ns:(t.dev.d_in_ns ~slot)) then
       raise
         (Svagc_fault.Kernel_error.Fault (Svagc_fault.Kernel_error.EIO_swap { va }));
     let frame = Phys_mem.alloc_frame t.machine.Machine.phys in
-    (match Swap_dev.read t.dev ~slot with
+    (match t.dev.d_read ~slot with
     | None -> () (* zero page: the fresh frame is already lazily zero *)
     | Some b ->
       Bytes.blit b 0
         (Phys_mem.frame_bytes t.machine.Machine.phys frame)
         0 (Bytes.length b));
-    Swap_dev.free_slot t.dev slot;
+    t.dev.d_free_slot slot;
     Page_table.set_pte pt va (Pte.make ~frame);
     perf.Perf.pages_swapped_in <- perf.Perf.pages_swapped_in + 1;
     track t ~pt ~asid ~va;
+    enforce t ~asid ~protect:(Some (Addr.page_number va));
     if Tracer.tracing () then
       Tracer.instant ~cat:"reclaim"
         ~args:
@@ -335,10 +485,15 @@ let fault_in t ~pt ~asid ~va =
         "reclaim.fault_in"
   end
 
-let slot_bytes t ~slot = Swap_dev.peek t.dev ~slot
+let slot_bytes t ~slot = t.dev.d_peek ~slot
 
-let slot_allocated t ~slot = Swap_dev.allocated t.dev ~slot
+let slot_allocated t ~slot = t.dev.d_allocated ~slot
 
-let slots_in_use t = Swap_dev.slots_in_use t.dev
+let slots_in_use t = t.dev.d_slots_in_use ()
+
+let tier_stats t = t.dev.d_tier_stats ()
+
+let cgroup_stats t =
+  match t.cgroup with None -> [] | Some cg -> cg.cg_stats ()
 
 let tracked_pages t = t.active.size + t.inactive.size

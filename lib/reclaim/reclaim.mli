@@ -23,20 +23,71 @@
 
 type t
 
+(** A pluggable swap device as a record of closures — the same dependency
+    inversion as [Machine.reclaim_iface], one level up: the tiered
+    far-memory device lives in [svagc_fleet], above this library.
+    [d_out_ns] is the per-attempt cost of the {e next} swap-out, queried
+    before the slot is allocated (a tiered device folds in the demotion
+    its next allocation will trigger, without mutating anything);
+    [d_in_ns ~slot] is the per-attempt cost of reading [slot] back (far
+    slots are slower).  [d_tier_stats] is [(near_in_use, far_in_use)] for
+    a tiered device, [None] for a flat one. *)
+type dev_iface = {
+  d_alloc_slot : unit -> int;
+  d_free_slot : int -> unit;
+  d_write : slot:int -> bytes option -> unit;
+  d_read : slot:int -> bytes option;
+  d_peek : slot:int -> bytes option;
+  d_allocated : slot:int -> bool;
+  d_slots_in_use : unit -> int;
+  d_out_ns : unit -> float;
+  d_in_ns : slot:int -> float;
+  d_tier_stats : unit -> (int * int) option;
+}
+
+(** Per-tenant resident-page accounting, likewise inverted (the state
+    lives in [svagc_fleet]).  [cg_charge]/[cg_uncharge] fire when a page
+    enters/leaves the reclaim tracking table; [cg_excess] is resident
+    pages above the tenant's hard limit; [cg_prefer] marks tenants over
+    their soft limit (preferred kswapd victims); [cg_any_over_soft] must
+    be O(1) — it is consulted on every kswapd wake; [cg_stats] lists
+    [(asid, resident, soft, hard)] in ascending-asid order. *)
+type cgroup_iface = {
+  cg_charge : asid:int -> unit;
+  cg_uncharge : asid:int -> unit;
+  cg_excess : asid:int -> int;
+  cg_prefer : asid:int -> bool;
+  cg_any_over_soft : unit -> bool;
+  cg_stats : unit -> (int * int * int * int) list;
+}
+
 val create :
   Svagc_vmem.Machine.t ->
   limit_frames:int ->
   ?swap_cost_ns:float ->
   ?max_io_retries:int ->
+  ?dev:dev_iface ->
   unit ->
   t
 (** A reclaimer that keeps the machine's resident frame count at or below
     [limit_frames] (evicting down to a small hysteresis gap below it on
     each wake).  [swap_cost_ns] overrides both per-page device latencies;
     [max_io_retries] (default 3) bounds device attempts per transfer.
+    [dev] replaces the default flat swap device (in which case the device
+    owns all transfer costs and [swap_cost_ns] is ignored).
     @raise Invalid_argument if [limit_frames <= 0]. *)
 
 val limit_frames : t -> int
+
+val set_cgroup : t -> cgroup_iface option -> unit
+(** Install (or remove) the per-tenant accounting plane.  Pages already
+    tracked are charged to their tenants on installation. *)
+
+val enforce_hard : t -> asid:int -> unit
+(** Evict the tenant's coldest pages until it is back under its hard
+    limit (no-op without a cgroup plane, or when already under).  Called
+    by the fleet layer after tightening a tenant's limits; the mapping,
+    faulting and adopt paths run the same enforcement automatically. *)
 
 (** {2 Page lifecycle notifications} *)
 
@@ -78,6 +129,13 @@ val slot_bytes : t -> slot:int -> bytes option
 val slot_allocated : t -> slot:int -> bool
 
 val slots_in_use : t -> int
+
+val tier_stats : t -> (int * int) option
+(** The device's [(near_in_use, far_in_use)]; [None] for a flat device. *)
+
+val cgroup_stats : t -> (int * int * int * int) list
+(** Per-tenant [(asid, resident, soft, hard)]; [[]] without a cgroup
+    plane. *)
 
 val tracked_pages : t -> int
 (** Pages currently on the LRU lists. *)

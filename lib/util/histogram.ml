@@ -29,15 +29,31 @@ let ensure_sorted t =
     t.sorted <- true
   end
 
-let percentile t p =
+(* Nearest-rank: sample number ceil(q*n), 1-indexed.  The product q*n is
+   computed in floats, so a mathematically-integer rank can land a hair
+   above its true value (0.999 * 1000 = 999.0000000000001) and ceil would
+   then select the next sample.  Subtracting a relative epsilon first
+   restores the exact-boundary answer; ranks that are genuinely fractional
+   are unaffected (their distance to the next integer is far above eps). *)
+let quantile t q =
   let n = count t in
   if n = 0 then 0.0
   else begin
     ensure_sorted t;
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    let x = q *. float_of_int n in
+    let eps = 1e-9 *. Float.max 1.0 (Float.abs x) in
+    let rank = int_of_float (ceil (x -. eps)) - 1 in
     let rank = Stdlib.max 0 (Stdlib.min (n - 1) rank) in
     Vec.get t.samples rank
   end
+
+let percentile t p = quantile t (p /. 100.0)
+
+let p50 t = quantile t 0.5
+
+let p99 t = quantile t 0.99
+
+let p999 t = quantile t 0.999
 
 let stddev t =
   let n = count t in

@@ -23,6 +23,19 @@ val percentile : t -> float -> float
 (** [percentile t p] for [p] in [\[0, 100\]] (nearest-rank on the recorded
     samples).  0 when empty. *)
 
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [\[0, 1\]]: the nearest-rank sample
+    [ceil (q * n)] (1-indexed), computed with an epsilon guard so exact
+    rank boundaries (e.g. q = 0.999 over 1000 samples) are not pushed one
+    sample high by float rounding.  0 when empty. *)
+
+val p50 : t -> float
+
+val p99 : t -> float
+
+val p999 : t -> float
+(** Tail-latency accessors: [quantile] at 0.5 / 0.99 / 0.999. *)
+
 val stddev : t -> float
 
 val merge : t -> t -> t

@@ -19,6 +19,8 @@ type reclaim_iface = {
   ri_slot_allocated : slot:int -> bool;
   ri_slots_in_use : unit -> int;
   ri_drain_ns : unit -> float;
+  ri_cgroup_stats : unit -> (int * int * int * int) list;
+  ri_tier_stats : unit -> (int * int) option;
 }
 
 type t = {

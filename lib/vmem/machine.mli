@@ -44,6 +44,14 @@ type reclaim_iface = {
       (** Return and clear the reclaim cost accumulated since the last
           drain (swap-device IO, fault handling, kswapd scans).  Callers
           fold it into whichever clock triggered the work. *)
+  ri_cgroup_stats : unit -> (int * int * int * int) list;
+      (** Per-tenant [(asid, resident_pages, soft_limit, hard_limit)] in
+          ascending-asid order when a cgroup plane is installed on the
+          reclaimer; [[]] otherwise.  Observer for the shadow oracle's
+          cgroup conservation laws. *)
+  ri_tier_stats : unit -> (int * int) option;
+      (** [(near_slots_in_use, far_slots_in_use)] when the swap device is
+          tiered; [None] for a flat single-latency device. *)
 }
 
 type t = {

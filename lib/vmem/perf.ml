@@ -28,6 +28,9 @@ type t = {
   mutable reclaim_scans : int;
   mutable kswapd_wakes : int;
   mutable swap_io_errors : int;
+  mutable tier_demotions : int;
+  mutable tier_promotions : int;
+  mutable admission_rejects : int;
 }
 
 let create () =
@@ -61,6 +64,9 @@ let create () =
     reclaim_scans = 0;
     kswapd_wakes = 0;
     swap_io_errors = 0;
+    tier_demotions = 0;
+    tier_promotions = 0;
+    admission_rejects = 0;
   }
 
 let reset t =
@@ -92,7 +98,10 @@ let reset t =
   t.major_faults <- 0;
   t.reclaim_scans <- 0;
   t.kswapd_wakes <- 0;
-  t.swap_io_errors <- 0
+  t.swap_io_errors <- 0;
+  t.tier_demotions <- 0;
+  t.tier_promotions <- 0;
+  t.admission_rejects <- 0
 
 let copy t =
   {
@@ -125,6 +134,9 @@ let copy t =
     reclaim_scans = t.reclaim_scans;
     kswapd_wakes = t.kswapd_wakes;
     swap_io_errors = t.swap_io_errors;
+    tier_demotions = t.tier_demotions;
+    tier_promotions = t.tier_promotions;
+    admission_rejects = t.admission_rejects;
   }
 
 let diff ~after ~before =
@@ -158,6 +170,9 @@ let diff ~after ~before =
     reclaim_scans = after.reclaim_scans - before.reclaim_scans;
     kswapd_wakes = after.kswapd_wakes - before.kswapd_wakes;
     swap_io_errors = after.swap_io_errors - before.swap_io_errors;
+    tier_demotions = after.tier_demotions - before.tier_demotions;
+    tier_promotions = after.tier_promotions - before.tier_promotions;
+    admission_rejects = after.admission_rejects - before.admission_rejects;
   }
 
 let to_assoc t =
@@ -191,6 +206,9 @@ let to_assoc t =
     ("reclaim_scans", t.reclaim_scans);
     ("kswapd_wakes", t.kswapd_wakes);
     ("swap_io_errors", t.swap_io_errors);
+    ("tier_demotions", t.tier_demotions);
+    ("tier_promotions", t.tier_promotions);
+    ("admission_rejects", t.admission_rejects);
   ]
 
 let pp ppf t =
@@ -200,7 +218,8 @@ let pp ppf t =
      flush_local=%d flush_page=%d flush_all=%d ipis=%d ipis_lost=%d broadcasts=%d pins=%d \
      gcs=%d retries=%d fallbacks=%d waste=%dB alloc=%dB \
      swapped_out=%d swapped_in=%d major_faults=%d reclaim_scans=%d \
-     kswapd_wakes=%d swap_eio=%d"
+     kswapd_wakes=%d swap_eio=%d demotions=%d promotions=%d \
+     admission_rejects=%d"
     t.syscalls t.swapva_calls t.memmove_calls t.ptes_swapped t.pt_walks
     t.pmd_cache_hits t.leaf_runs t.runs_coalesced t.pmd_leaf_swaps
     t.bytes_copied t.bytes_remapped t.tlb_flush_local
@@ -208,4 +227,5 @@ let pp ppf t =
     t.gc_cycles t.swap_retries t.swap_fallbacks
     t.alloc_waste_bytes t.alloc_bytes
     t.pages_swapped_out t.pages_swapped_in t.major_faults t.reclaim_scans
-    t.kswapd_wakes t.swap_io_errors
+    t.kswapd_wakes t.swap_io_errors t.tier_demotions t.tier_promotions
+    t.admission_rejects

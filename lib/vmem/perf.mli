@@ -58,6 +58,15 @@ type t = {
   mutable swap_io_errors : int;
       (** injected swap-device EIOs observed (one per failed device
           attempt, both directions); see the [swap] fault site *)
+  mutable tier_demotions : int;
+      (** cold swap slots moved from the near tier to the far tier by a
+          tiered device's placement policy; at most one per slot lifetime *)
+  mutable tier_promotions : int;
+      (** demand faults served from the far tier (the slot's payload came
+          back over the slow path); always [<= pages_swapped_in] *)
+  mutable admission_rejects : int;
+      (** tenants refused outright by fleet admission control (neither
+          admitted nor queued) *)
 }
 
 val create : unit -> t

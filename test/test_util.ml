@@ -233,6 +233,41 @@ let prop_histogram_mean_bounds =
       Histogram.min h <= Histogram.mean h +. 1e-9
       && Histogram.mean h <= Histogram.max h +. 1e-9)
 
+let test_histogram_quantile_boundaries () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check (float 0.0)) "p50" 500.0 (Histogram.p50 h);
+  Alcotest.(check (float 0.0)) "p99" 990.0 (Histogram.p99 h);
+  (* The regression this pins down: 0.999 *. 1000. is 999.0000000000001
+     in floats, so an unguarded ceil lands on rank 1000 and reports the
+     maximum instead of the 999th sample. *)
+  Alcotest.(check (float 0.0)) "p999 boundary" 999.0 (Histogram.p999 h);
+  Alcotest.(check (float 0.0)) "q=0 clamps to min" 1.0
+    (Histogram.quantile h 0.0);
+  Alcotest.(check (float 0.0)) "q=1 is max" 1000.0 (Histogram.quantile h 1.0);
+  Alcotest.(check (float 0.0)) "percentile alias" 999.0
+    (Histogram.percentile h 99.9)
+
+(* Exact-integer-arithmetic nearest-rank reference: 1-indexed rank
+   [ceil (num*n/den)], clamped into the sample range. *)
+let prop_histogram_quantile_reference =
+  qtest "histogram: quantile = sorted-array nearest rank"
+    QCheck.(list_of_size Gen.(1 -- 200) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) xs;
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      List.for_all
+        (fun (num, den) ->
+          let rank = ((num * n) + den - 1) / den in
+          let expect = sorted.(max 0 (rank - 1)) in
+          Histogram.quantile h (float_of_int num /. float_of_int den) = expect)
+        [ (1, 2); (99, 100); (999, 1000); (1, 1) ])
+
 (* --- Num_util --- *)
 
 let test_gcd () =
@@ -303,7 +338,10 @@ let () =
           Alcotest.test_case "basic" `Quick test_histogram_basic;
           Alcotest.test_case "empty" `Quick test_histogram_empty;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "quantile boundaries" `Quick
+            test_histogram_quantile_boundaries;
           prop_histogram_mean_bounds;
+          prop_histogram_quantile_reference;
         ] );
       ( "num_util",
         [
