@@ -1,11 +1,13 @@
 (* Host wall-clock microbenchmark for the disjoint-swap data paths:
    simulated memmove (byte copies) vs the per-page SwapVA reference vs the
-   run-coalesced SwapVA engine, at 1k / 64k / 512k pages per side.
+   run-coalesced SwapVA engine vs the flat engine (bitset prechecks,
+   scratch run buffers, memoized bulk charges), at 1k / 64k / 512k pages
+   per side.
 
-   The two SwapVA engines charge bit-identical *simulated* cost (asserted
+   All SwapVA engines charge bit-identical *simulated* cost (asserted
    here and recorded in the output); what this benchmark measures is how
    much *host* time the simulator itself spends, which is what the
-   run-coalesced engine exists to cut.
+   run-coalesced and flat engines exist to cut.
 
    `dune exec bench/swap_bench.exe` writes BENCH_swap.json (canonical
    JSON, see --output).  `--quick` trims the sizes for CI smoke runs. *)
@@ -76,6 +78,13 @@ let bench_size ~pages =
         run_sim := Swapva.swap_disjoint_run proc ~pmd_caching:true req)
   in
   Printf.printf " run-coalesced%!";
+  let flat_sim = ref 0.0 in
+  let flat_host =
+    time_per_op (fun () ->
+        flat_sim :=
+          Swapva.swap_disjoint_flat proc ~pmd_caching:true ~leaf_swap:false req)
+  in
+  Printf.printf " flat%!";
   let memmove_host =
     time_per_op (fun () ->
         ignore (Memmove.move aspace ~src:base ~dst:req.Swapva.dst ~len))
@@ -86,6 +95,11 @@ let bench_size ~pages =
       (Printf.sprintf
          "simulated cost diverged at %d pages: per-page %.17g vs run %.17g"
          pages !per_page_sim !run_sim);
+  if !per_page_sim <> !flat_sim then
+    failwith
+      (Printf.sprintf
+         "simulated cost diverged at %d pages: per-page %.17g vs flat %.17g"
+         pages !per_page_sim !flat_sim);
   let ns s = s *. 1e9 in
   Json.Obj
     [
@@ -104,10 +118,17 @@ let bench_size ~pages =
             ("host_ns_per_op", Json.Float (ns run_host));
             ("simulated_ns", Json.Float !run_sim);
           ] );
+      ( "swapva_flat",
+        Json.Obj
+          [
+            ("host_ns_per_op", Json.Float (ns flat_host));
+            ("simulated_ns", Json.Float !flat_sim);
+          ] );
       ("simulated_cost_identical", Json.Bool true);
       ( "host_speedup_run_vs_per_page",
         Json.Float (per_page_host /. run_host) );
       ("host_speedup_run_vs_memmove", Json.Float (memmove_host /. run_host));
+      ("host_speedup_flat_vs_run", Json.Float (run_host /. flat_host));
     ]
 
 let () =
@@ -142,12 +163,20 @@ let () =
      shared runners) only report the ratio: small sizes and noisy
      neighbours make a hard perf gate flaky there. *)
   match List.rev results with
-  | last :: _ -> (
-    match Json.member "host_speedup_run_vs_per_page" last with
+  | last :: _ ->
+    (match Json.member "host_speedup_run_vs_per_page" last with
     | Some (Json.Float s) ->
       Printf.printf "largest-size speedup run vs per-page: %.1fx\n" s;
       if (not quick) && s < 5.0 then begin
         Printf.eprintf "FAIL: expected >= 5x, got %.2fx\n" s;
+        exit 1
+      end
+    | _ -> ());
+    (match Json.member "host_speedup_flat_vs_run" last with
+    | Some (Json.Float s) ->
+      Printf.printf "largest-size speedup flat vs run-coalesced: %.1fx\n" s;
+      if (not quick) && s < 1.5 then begin
+        Printf.eprintf "FAIL: expected >= 1.5x, got %.2fx\n" s;
         exit 1
       end
     | _ -> ())

@@ -59,7 +59,22 @@ let run_experiment ~quick id =
 let exp_cmd =
   let doc = "Reproduce paper experiments by id (or 'all')." in
   let ids = Arg.(non_empty & pos_all string [] & info [] ~docv:"ID") in
-  let run quick check ids =
+  let tenants_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:
+            "Override the fleet experiment's cohort size (surge scales to \
+             5% of it). Only affects 'fleet'; e.g. $(b,exp fleet --tenants \
+             10000 --quick).")
+  in
+  let run quick check tenants ids =
+    (match tenants with
+    | Some n when n < 1 ->
+      Printf.eprintf "--tenants must be >= 1\n";
+      exit 1
+    | _ -> Svagc_experiments.Exp_fleet.tenants_override := tenants);
     if check then Svagc_check.Check.enable ~label:(String.concat "+" ids) ();
     List.iter (run_experiment ~quick) ids;
     if check then
@@ -67,7 +82,8 @@ let exp_cmd =
       | Some rep -> if print_check_report rep then exit 1
       | None -> ()
   in
-  Cmd.v (Cmd.info "exp" ~doc) Term.(const run $ quick_arg $ check_flag $ ids)
+  Cmd.v (Cmd.info "exp" ~doc)
+    Term.(const run $ quick_arg $ check_flag $ tenants_arg $ ids)
 
 let collector_conv =
   let parse = function

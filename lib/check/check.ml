@@ -161,6 +161,32 @@ let counter_laws machine =
     (p.Perf.tier_demotions <= p.Perf.pages_swapped_out)
     "tier_demotions = %d exceeds pages_swapped_out = %d"
     p.Perf.tier_demotions p.Perf.pages_swapped_out;
+  (* Event-calendar accounting: an event is dispatched or cancelled at
+     most once, and only after being scheduled — lazy cancellation must
+     never double-count a seq. *)
+  law a "counter-law"
+    (p.Perf.sched_dispatched + p.Perf.sched_cancelled
+    <= p.Perf.sched_scheduled)
+    "sched_dispatched + sched_cancelled = %d + %d exceeds sched_scheduled = \
+     %d"
+    p.Perf.sched_dispatched p.Perf.sched_cancelled p.Perf.sched_scheduled;
+  result a
+
+(* --- page-table presence bitsets --- *)
+
+(* The flat SwapVA engine trusts each leaf's presence bitset instead of
+   reading PTEs; this recomputes every bitset from the PTE words.  Any
+   disagreement means some exchange path violated its
+   mappedness-preservation contract. *)
+let bitset_laws ~tables =
+  let a = acc () in
+  List.iter
+    (fun (asid, pt) ->
+      let bad = Page_table.bitset_violations pt in
+      law a "pte-bitset" (bad = 0)
+        "asid %d: %d leaves' presence bitsets disagree with their PTE words"
+        asid bad)
+    tables;
   result a
 
 (* --- reclaim conservation laws --- *)
@@ -643,6 +669,7 @@ let post_gc ?(label = "gc") heap cycle =
     fold s (heap_invariants ~label heap);
     fold s (tlb_coherence machine ~tables:st.tables);
     fold s (counter_laws machine);
+    fold s (bitset_laws ~tables:st.tables);
     (match machine.Machine.reclaim with
     | None -> ()
     | Some r ->

@@ -65,8 +65,18 @@ val counter_laws : Svagc_vmem.Machine.t -> int * finding list
     ipis_lost], [swapva_calls <= syscalls], [bytes_remapped] page-sized,
     [tlb_flush_local >= ncores * tlb_flush_all],
     [ptes_swapped >= 2 * pmd_leaf_swaps],
-    [pages_swapped_in <= pages_swapped_out], and
-    [major_faults >= pages_swapped_in]. *)
+    [pages_swapped_in <= pages_swapped_out],
+    [major_faults >= pages_swapped_in], and
+    [sched_dispatched + sched_cancelled <= sched_scheduled] (event
+    calendar: every firing/cancel consumes a distinct scheduled seq). *)
+
+val bitset_laws :
+  tables:(int * Svagc_vmem.Page_table.t) list -> int * finding list
+(** Recompute every leaf's presence bitset from its PTE words
+    ({!Svagc_vmem.Page_table.bitset_violations}) for each registered
+    address space.  A violation means some PTE-exchange path broke its
+    mappedness-preservation contract — the invariant the flat SwapVA
+    engine's bitset prechecks rely on. *)
 
 val reclaim_laws :
   Svagc_vmem.Machine.t ->
@@ -142,9 +152,9 @@ val observe_clock : key:string -> float -> unit
 val post_gc :
   ?label:string -> Svagc_heap.Heap.t -> Svagc_gc.Gc_stats.cycle -> unit
 (** Phase-boundary assertion for the end of a GC cycle: cycle laws, heap
-    audit, TLB coherence and counter laws on the heap's machine, plus
-    {!reclaim_laws} when a reclaim plane is attached.  Called by
-    [Jvm.run_gc]; no-op when shadow mode is off. *)
+    audit, TLB coherence, counter laws and {!bitset_laws} on the heap's
+    machine, plus {!reclaim_laws} when a reclaim plane is attached.
+    Called by [Jvm.run_gc]; no-op when shadow mode is off. *)
 
 val observe_tracer : Svagc_trace.Tracer.t -> unit
 (** Fold a {!trace_wellformed} pass over a (stopped or running) tracer

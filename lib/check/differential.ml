@@ -55,12 +55,13 @@ let gen_case ?(arena_pages = 1536) ?(max_requests = 10) ~seed () =
   in
   { seed; arena_pages; requests }
 
-type path = Per_page | Runs | Leaf
+type path = Per_page | Runs | Leaf | Flat
 
 let path_name = function
   | Per_page -> "per-page"
   | Runs -> "runs"
   | Leaf -> "pmd-leaf"
+  | Flat -> "flat"
 
 type replay = {
   cost : float;
@@ -96,6 +97,8 @@ let replay path case =
     | Per_page -> Swapva.swap_disjoint_per_page proc ~pmd_caching:true req
     | Runs -> Swapva.swap_disjoint_run proc ~pmd_caching:true req
     | Leaf -> Swapva.swap_disjoint_run ~leaf_swap:true proc ~pmd_caching:true req
+    | Flat ->
+      Swapva.swap_disjoint_flat proc ~pmd_caching:true ~leaf_swap:false req
   in
   let cost =
     List.fold_left (fun acc req -> acc +. engine req) 0.0 case.requests
@@ -133,6 +136,21 @@ let compare_case case =
       match first_counter_mismatch runs.counters reference.counters with
       | Some ((k, v1), (_, v2)) ->
         mk "differential-counters" "%s: %s = %d (runs) vs %d (per-page)" label
+          k v1 v2
+      | None -> mk "differential-counters" "%s: counter sets differ" label);
+  let flat = replay Flat case in
+  law (flat.cost = reference.cost) (fun () ->
+      mk "differential-cost"
+        "%s: flat-engine cost %.17g <> per-page reference %.17g" label
+        flat.cost reference.cost);
+  law (flat.layout = reference.layout) (fun () ->
+      mk "differential-layout"
+        "%s: flat-engine final mapping differs from the per-page reference"
+        label);
+  law (flat.counters = reference.counters) (fun () ->
+      match first_counter_mismatch flat.counters reference.counters with
+      | Some ((k, v1), (_, v2)) ->
+        mk "differential-counters" "%s: %s = %d (flat) vs %d (per-page)" label
           k v1 v2
       | None -> mk "differential-counters" "%s: counter sets differ" label);
   law (leaf.layout = reference.layout) (fun () ->
@@ -200,6 +218,86 @@ let zero_fault_identity case =
         label);
   (!items, List.rev !findings)
 
+(* --- scheduler identity: calendar vs lockstep scan --- *)
+
+module Engine = Svagc_sched.Engine
+
+type sched_case = {
+  sc_seed : int;
+  sc_firsts : float array;  (** entry ns per proc (small ints: many ties) *)
+  sc_plans : int array array;  (** per-proc stride sequence; 0 keeps ties *)
+}
+
+(* Strides and entry times are drawn UP FRONT so both replays consume the
+   identical schedule regardless of interleaving; small integer ns with
+   stride 0 allowed makes same-instant ties — the FIFO tie-break under
+   test — common rather than exceptional. *)
+let gen_sched_case ?(max_procs = 12) ?(max_events = 16) ~seed () =
+  let rng = Rng.create ~seed in
+  let nprocs = 1 + Rng.int rng max_procs in
+  let firsts =
+    Array.init nprocs (fun _ -> float_of_int (Rng.int rng 4))
+  in
+  let plans =
+    Array.init nprocs (fun _ ->
+        Array.init (Rng.int rng max_events) (fun _ -> Rng.int rng 3))
+  in
+  { sc_seed = seed; sc_firsts = firsts; sc_plans = plans }
+
+(* Replay one schedule through an engine, logging every firing as
+   (proc index, simulated ns) — the whole observable behaviour. *)
+let sched_replay case engine =
+  let order = ref [] in
+  let procs =
+    Array.mapi
+      (fun i plan ->
+        let pos = ref 0 in
+        Engine.proc ~first_ns:case.sc_firsts.(i) (fun ~now ->
+            order := (i, now) :: !order;
+            if !pos >= Array.length plan then Engine.done_ns
+            else begin
+              let d = plan.(!pos) in
+              incr pos;
+              now +. float_of_int d
+            end))
+      case.sc_plans
+  in
+  let fired =
+    match engine with
+    | `Scan -> Engine.run_lockstep_scan procs
+    | `Calendar -> Engine.run_calendar procs
+  in
+  (fired, List.rev !order)
+
+let sched_identity case =
+  let items = ref 0 and findings = ref [] in
+  let law ok f =
+    incr items;
+    if not ok then findings := f () :: !findings
+  in
+  let scan_n, scan_order = sched_replay case `Scan in
+  let cal_n, cal_order = sched_replay case `Calendar in
+  let label =
+    Printf.sprintf "sched case seed=%d (%d procs)" case.sc_seed
+      (Array.length case.sc_plans)
+  in
+  law (scan_n = cal_n) (fun () ->
+      mk "sched-identity" "%s: calendar fired %d events, lockstep scan %d"
+        label cal_n scan_n);
+  law (scan_order = cal_order) (fun () ->
+      let rec first_div k a b =
+        match (a, b) with
+        | (i1, t1) :: _, (i2, t2) :: _ when i1 <> i2 || t1 <> t2 ->
+          Printf.sprintf "event #%d: calendar (proc %d, %g ns) vs scan (proc \
+                          %d, %g ns)"
+            k i2 t2 i1 t1
+        | _ :: a, _ :: b -> first_div (k + 1) a b
+        | _ -> "one replay is a prefix of the other"
+      in
+      mk "sched-identity" "%s: firing orders diverge: %s" label
+        (first_div 0 scan_order cal_order));
+  (!items + scan_n, List.rev !findings)
+
 let arena_sizes = [| 384; 512; 1024; 1536; 2048 |]
 
 let run_suite ?(cases = 40) ?(seed = 0xC0FFEE) () =
@@ -209,7 +307,8 @@ let run_suite ?(cases = 40) ?(seed = 0xC0FFEE) () =
     let case = gen_case ~arena_pages ~seed:(seed + i) () in
     let n1, f1 = compare_case case in
     let n2, f2 = zero_fault_identity case in
-    items := !items + n1 + n2;
-    findings := !findings @ f1 @ f2
+    let n3, f3 = sched_identity (gen_sched_case ~seed:(seed + i) ()) in
+    items := !items + n1 + n2 + n3;
+    findings := !findings @ f1 @ f2 @ f3
   done;
   (!items, !findings)

@@ -1,7 +1,7 @@
 (** The differential harness: random swap schedules replayed through every
     SwapVA engine, asserting the equivalences the kernel promises.
 
-    Three engine paths are compared on identical fresh machines:
+    Four engine paths are compared on identical fresh machines:
 
     - [Per_page] — [Swapva.swap_disjoint_per_page], the executable
       reference;
@@ -9,6 +9,9 @@
       which must produce a bit-identical heap layout, perf-counter deltas
       (modulo its own [leaf_runs] bookkeeping counter) and bit-identical
       simulated cost;
+    - [Flat] — [Swapva.swap_disjoint_flat], the allocation-free engine
+      behind the syscall (bitset prechecks, scratch run buffers, memoized
+      bulk charges), held to the same bit-identity bar as [Runs];
     - [Leaf] — [swap_disjoint_run ~leaf_swap:true], the O(1) PMD mode,
       which must produce the identical layout at no greater cost (its
       counters legitimately differ — it is outside the cost-equivalence
@@ -36,7 +39,7 @@ val gen_case : ?arena_pages:int -> ?max_requests:int -> seed:int -> unit -> case
     and (when the arena allows) whole PMD-aligned 512-page runs that light
     up the leaf-swap path. *)
 
-type path = Per_page | Runs | Leaf
+type path = Per_page | Runs | Leaf | Flat
 
 val path_name : path -> string
 
@@ -57,6 +60,24 @@ val zero_fault_identity : case -> int * Check.finding list
 (** Full-syscall replays with no injector vs. an all-zero-rate injector
     must be bit-identical. *)
 
+type sched_case = {
+  sc_seed : int;
+  sc_firsts : float array;  (** entry ns per proc (small ints: many ties) *)
+  sc_plans : int array array;  (** per-proc stride sequence; 0 keeps ties *)
+}
+
+val gen_sched_case :
+  ?max_procs:int -> ?max_events:int -> seed:int -> unit -> sched_case
+(** Deterministic random schedule: strides and entry times drawn up front
+    so both replays consume the identical plan; small integer ns with
+    zero strides allowed make same-instant FIFO ties common. *)
+
+val sched_identity : sched_case -> int * Check.finding list
+(** Replay the schedule through [Svagc_sched.Engine.run_lockstep_scan] and
+    [run_calendar]; the (proc, ns) firing sequences must be bit-identical
+    (the calendar's FIFO tie-break contract). *)
+
 val run_suite : ?cases:int -> ?seed:int -> unit -> int * Check.finding list
-(** [cases] generated schedules (default 40) through {!compare_case} and
-    {!zero_fault_identity}; returns the combined (items, findings). *)
+(** [cases] generated schedules (default 40) through {!compare_case},
+    {!zero_fault_identity} and {!sched_identity}; returns the combined
+    (items, findings). *)

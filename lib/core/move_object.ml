@@ -35,11 +35,16 @@ type batch_entry = { e_src : int; e_dst : int; e_len : int; e_pages : int }
 let max_swap_retries = 3
 
 (* Distribute a call's cost over the entries it moved, proportional to
-   page counts (the dominant term). *)
-let attribute_entries ~total ~total_pages entries =
-  List.map
+   page counts (the dominant term).  Outcomes are handed to [emit] rather
+   than collected in lists: the batch machinery below emits straight into
+   the caller's output vector, so the fault-free path builds no
+   per-entry cost lists (each attribution is an independent float
+   expression, so emission order cannot change any value). *)
+let emit_attributed ~emit ~total ~total_pages ~swapped entries =
+  List.iter
     (fun e ->
-      total *. float_of_int e.e_pages /. float_of_int (max 1 total_pages))
+      emit (total *. float_of_int e.e_pages /. float_of_int (max 1 total_pages))
+        swapped)
     entries
 
 let trace_fallback err ~entries ~pages ~retries =
@@ -58,13 +63,14 @@ let trace_fallback err ~entries ~pages ~retries =
 (* A request the kernel failed: bounded retry for transient errors, then
    graceful degradation to the byte-copy path.  [carry] is simulated ns
    already spent on the failed attempt(s) that still must be charged.
-   Returns one (cost, swapped) outcome per entry of the item.
+   Emits one (cost, swapped) outcome per entry of the item.
 
    The kernel's "error implies no mutation" contract is what makes this
    sound: a failed request left every entry at its source address, so
    memmove sees exactly the pre-call bytes.  Non-degradable EINVALs are a
    GC bug (malformed request) and re-raised loudly. *)
-let degrade_item proc ~opts ~aspace ?measure_core ~carry err (req, entries) =
+let degrade_item proc ~opts ~aspace ?measure_core ~emit ~carry err (req, entries)
+    =
   let machine = Process.machine proc in
   let perf = machine.Machine.perf in
   let cost = machine.Machine.cost in
@@ -96,7 +102,7 @@ let degrade_item proc ~opts ~aspace ?measure_core ~carry err (req, entries) =
     (* A retry went through: entries were swapped after all; spread the
        whole episode's cost (backoffs + failed attempts + success). *)
     let total = !spent +. ns in
-    List.map (fun c -> (c, true)) (attribute_entries ~total ~total_pages entries)
+    emit_attributed ~emit ~total ~total_pages ~swapped:true entries
   | Error err ->
     if not (Kernel_error.is_degradable err) then raise (Kernel_error.Fault err);
     perf.Perf.swap_fallbacks <- perf.Perf.swap_fallbacks + 1;
@@ -104,25 +110,25 @@ let degrade_item proc ~opts ~aspace ?measure_core ~carry err (req, entries) =
       ~retries:!retries;
     (* Degrade: complete every entry of the request with memmove.  The
        accumulated failure cost rides on the first entry. *)
-    List.mapi
+    List.iteri
       (fun i e ->
         let mv =
           Memmove.move ?measure_core ~cold:true aspace ~src:e.e_src ~dst:e.e_dst
             ~len:e.e_len
         in
-        ((if i = 0 then !spent +. mv else mv), false))
+        emit (if i = 0 then !spent +. mv else mv) false)
       entries
 
-(* Flush a pending batch of swap requests and return one (cost_ns, swapped)
+(* Flush a pending batch of swap requests, emitting one (cost_ns, swapped)
    outcome per compaction entry, in entry order.  The fault-free path is
    float-for-float identical to charging the call total proportionally by
    page count.  On a typed kernel failure the batch degrades per the
    DESIGN.md fault chapter: completed requests keep their swaps, the
    failing request retries/falls back to memmove, and the untried suffix
    is re-flushed (a fresh syscall batch). *)
-let rec flush_batch proc ~opts ~aspace ?measure_core ~aggregated batch =
+let rec flush_batch proc ~opts ~aspace ?measure_core ~emit ~aggregated batch =
   match batch with
-  | [] -> []
+  | [] -> ()
   | items ->
     let requests = List.map fst items in
     let outcome =
@@ -134,11 +140,10 @@ let rec flush_batch proc ~opts ~aspace ?measure_core ~aggregated batch =
       let total_pages =
         List.fold_left (fun acc r -> acc + r.Swapva.pages) 0 requests
       in
-      List.concat_map
+      List.iter
         (fun (_, entries) ->
-          List.map
-            (fun c -> (c, true))
-            (attribute_entries ~total:outcome.Swapva.ns ~total_pages entries))
+          emit_attributed ~emit ~total:outcome.Swapva.ns ~total_pages
+            ~swapped:true entries)
         items
     | Some err ->
       let completed = outcome.Swapva.completed in
@@ -155,21 +160,14 @@ let rec flush_batch proc ~opts ~aspace ?measure_core ~aggregated batch =
       let done_pages =
         List.fold_left (fun acc (r, _) -> acc + r.Swapva.pages) 0 done_items
       in
-      let done_costs =
-        List.concat_map
-          (fun (_, entries) ->
-            List.map
-              (fun c -> (c, true))
-              (attribute_entries ~total:outcome.Swapva.ns ~total_pages:done_pages
-                 entries))
-          done_items
-      in
+      List.iter
+        (fun (_, entries) ->
+          emit_attributed ~emit ~total:outcome.Swapva.ns ~total_pages:done_pages
+            ~swapped:true entries)
+        done_items;
       let carry = if completed = 0 then outcome.Swapva.ns else 0.0 in
-      let failed_costs =
-        degrade_item proc ~opts ~aspace ?measure_core ~carry err failed_item
-      in
-      done_costs @ failed_costs
-      @ flush_batch proc ~opts ~aspace ?measure_core ~aggregated rest_items)
+      degrade_item proc ~opts ~aspace ?measure_core ~emit ~carry err failed_item;
+      flush_batch proc ~opts ~aspace ?measure_core ~emit ~aggregated rest_items)
 
 let mover ?measure_core (cfg : Config.t) =
   Config.validate cfg;
@@ -241,16 +239,15 @@ let mover ?measure_core (cfg : Config.t) =
     let pending_count = ref 0 in
     let pending_entries = ref 0 in
     let coalesced = ref 0 in
+    let emit cost_ns swapped =
+      Svagc_util.Vec.push out { Compact.cost_ns; swapped }
+    in
     let flush_pending () =
-      let items = List.rev_map (fun (r, ep) -> (r, List.rev ep)) !pending in
-      let costs =
-        flush_batch proc ~opts ~aspace ?measure_core ~aggregated:cfg.aggregation
-          items
-      in
-      List.iter
-        (fun (cost_ns, swapped) ->
-          Svagc_util.Vec.push out { Compact.cost_ns; swapped })
-        costs;
+      if !pending <> [] then begin
+        let items = List.rev_map (fun (r, ep) -> (r, List.rev ep)) !pending in
+        flush_batch proc ~opts ~aspace ?measure_core ~emit
+          ~aggregated:cfg.aggregation items
+      end;
       if !pending_count > 0 && Tracer.tracing () then
         Tracer.instant ~cat:"gc"
           ~args:

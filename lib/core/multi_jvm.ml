@@ -27,10 +27,35 @@ let create ?mem_limit_frames ?swap_cost_ns ?swap_dev ?cgroup machine ~instances
 
 let jvms t = t.jvms
 
-let run_round_robin t ~steps ~step =
+let run_round_robin_lockstep t ~steps ~step =
   for s = 0 to steps - 1 do
     Array.iter (fun jvm -> step jvm s) t.jvms
   done
+
+(* Event-driven core: each JVM is a self-rescheduling process on the
+   calendar; step [s] is its event at simulated ns [s].  All processes
+   enter at ns 0 in index order and re-enter in firing order, so the
+   (ns, seq) FIFO heap replays the lockstep interleaving exactly (see
+   Svagc_sched.Engine) while idle tenants cost no host work. *)
+let run_round_robin_indexed t ~steps ~step =
+  if steps > 0 then begin
+    let procs =
+      Array.mapi
+        (fun i jvm ->
+          Svagc_sched.Engine.proc ~first_ns:0.0 (fun ~now ->
+              let s = int_of_float now in
+              step ~index:i jvm s;
+              let s' = s + 1 in
+              if s' < steps then float_of_int s'
+              else Svagc_sched.Engine.done_ns))
+        t.jvms
+    in
+    ignore
+      (Svagc_sched.Engine.run_calendar ~perf:t.machine.Machine.perf procs)
+  end
+
+let run_round_robin t ~steps ~step =
+  run_round_robin_indexed t ~steps ~step:(fun ~index:_ jvm s -> step jvm s)
 
 let max_total_ns t =
   Array.fold_left (fun acc jvm -> Float.max acc (Jvm.total_ns jvm)) 0.0 t.jvms

@@ -205,8 +205,11 @@ let run ~collector_of ?(label = "fleet") config =
           t_heap_pages = t.klass.k_heap_pages;
           t_decision = Admission.Rejected;
           t_wave = -1;
-          t_gc_pauses = Histogram.create ();
-          t_stalls = Histogram.create ();
+          (* Pre-sized: a GC roughly every 3 steps plus the forced one,
+             and exactly one stall sample per step.  Keeps 10k tenants'
+             worth of Vec backing from doubling-churn and 2x slack. *)
+          t_gc_pauses = Histogram.create ~capacity:((config.steps / 2) + 2) ();
+          t_stalls = Histogram.create ~capacity:config.steps ();
           t_gc_ns = 0.0;
           t_app_ns = 0.0;
           t_gc_count = 0;
@@ -258,16 +261,20 @@ let run ~collector_of ?(label = "fleet") config =
           make_stepper t jvm rng stats.(t.id))
         jvms
     in
-    for _step = 1 to config.steps do
-      Array.iter (fun stepper -> stepper ()) steppers
-    done;
-    (* At least one compacting collection per tenant, at peak pool
-       pressure: by now the wave's whole working set is allocated and the
-       cold majority of it swapped out, so this is where the compaction
-       engines diverge — memmove demand-faults every swapped page (at
-       far-tier latency for the demoted ones) while SwapVA exchanges
-       slot handles without touching either tier. *)
-    Array.iter (fun jvm -> ignore (Jvm.run_gc jvm)) jvms;
+    (* The wave runs on the event calendar: each tenant is a process
+       whose event at simulated step s is one mutator step, and whose
+       final event (s = steps) is the forced compacting collection — at
+       peak pool pressure: by then the wave's whole working set is
+       allocated and the cold majority of it swapped out, so this is
+       where the compaction engines diverge — memmove demand-faults
+       every swapped page (at far-tier latency for the demoted ones)
+       while SwapVA exchanges slot handles without touching either
+       tier.  FIFO seq tie-breaking makes the calendar replay the old
+       lockstep wave order bit-for-bit. *)
+    Multi_jvm.run_round_robin_indexed mj ~steps:(config.steps + 1)
+      ~step:(fun ~index jvm s ->
+        if s < config.steps then steppers.(index) ()
+        else ignore (Jvm.run_gc jvm));
     Array.iteri
       (fun index jvm ->
         let t = tenants.(ids.(index)) in
@@ -297,13 +304,22 @@ let run ~collector_of ?(label = "fleet") config =
     incr wave_no;
     wave := List.map fst (Admission.take_ready admission)
   done;
-  let pauses = ref (Histogram.create ()) in
-  let stalls = ref (Histogram.create ()) in
+  (* Fleet-wide percentiles: one O(total-samples) append pass (the old
+     merge-into-fresh fold was O(tenants * total) — a 10k-tenant
+     scaling wall), sorted lazily at the first quantile query. *)
+  let total_pauses = ref 0 and total_stalls = ref 0 in
+  Array.iter
+    (fun s ->
+      total_pauses := !total_pauses + Histogram.count s.t_gc_pauses;
+      total_stalls := !total_stalls + Histogram.count s.t_stalls)
+    stats;
+  let pauses = Histogram.create ~capacity:!total_pauses () in
+  let stalls = Histogram.create ~capacity:!total_stalls () in
   let max_p99 = ref 0.0 in
   Array.iter
     (fun s ->
-      pauses := Histogram.merge !pauses s.t_gc_pauses;
-      stalls := Histogram.merge !stalls s.t_stalls;
+      Histogram.merge_into ~into:pauses s.t_gc_pauses;
+      Histogram.merge_into ~into:stalls s.t_stalls;
       if Histogram.count s.t_gc_pauses > 0 then
         max_p99 := Float.max !max_p99 (Histogram.p99 s.t_gc_pauses))
     stats;
@@ -318,8 +334,8 @@ let run ~collector_of ?(label = "fleet") config =
     queued = !queued_total;
     rejected = Admission.rejected admission;
     stats;
-    pauses = !pauses;
-    stalls = !stalls;
+    pauses;
+    stalls;
     max_tenant_p99_pause = !max_p99;
     total_ns = !total_ns;
     perf = Perf.copy machine.Machine.perf;

@@ -237,6 +237,145 @@ let swap_disjoint_runs ?(fault = None) proc ~pmd_caching ~leaf_swap req =
 let swap_disjoint_run ?(leaf_swap = false) proc ~pmd_caching req =
   swap_disjoint_runs proc ~pmd_caching ~leaf_swap req
 
+(* Flat-path resolver: same slicing and same first-failure order as
+   [resolve_present_runs] (leaf missing -> EFAULT at the cursor; absent
+   page -> EFAULT at that page; both strictly before any mutation), but
+   slices land in a reusable int-packed [run_buf] (no list/tuple/array
+   allocation) and presence is prechecked against the leaf's bitset
+   words — O(1) for a fully-mapped leaf — instead of loading every PTE.
+   With an injector installed the per-page consult loop must run in
+   address order with the exact absent-before-fire short-circuit of the
+   reference resolver, so that path still reads each PTE. *)
+let resolve_mapped_slices ?(fault = None) pt ~va ~pages ~buf =
+  let absent = Pte.none in
+  let ps = Addr.page_size in
+  Page_table.(
+    let cursor = ref va and remaining = ref pages in
+    run_buf_clear buf;
+    while !remaining > 0 do
+      match find_leaf_record pt !cursor with
+      | None -> unmapped ~va:!cursor ()
+      | Some leaf ->
+        let start = Addr.pte_index !cursor in
+        let len = min !remaining (Addr.entries_per_table - start) in
+        (match fault with
+        | None -> (
+          match leaf_first_unmapped leaf ~lo:start ~hi:(start + len) with
+          | -1 -> ()
+          | bad -> unmapped ~va:(!cursor + ((bad - start) * ps)) ())
+        | Some inj ->
+          let ptes = leaf_ptes leaf in
+          for i = start to start + len - 1 do
+            let page_va = !cursor + ((i - start) * ps) in
+            if
+              Array.unsafe_get ptes i = absent
+              || Svagc_fault.Injector.fire inj
+                   ~site:Svagc_fault.Fault_spec.Pte_resolve ~va:page_va
+            then unmapped ~va:page_va ()
+          done);
+        run_buf_push buf leaf ~start ~len;
+        cursor := !cursor + (len * ps);
+        remaining := !remaining - len
+    done)
+
+(* Flat engine: observably identical to [swap_disjoint_runs] — same
+   heap mutations, same counters, bit-identical simulated cost — with
+   the remaining per-op host work removed: slice descriptors live in the
+   machine's scratch run buffers (int-packed, reused across ops),
+   presence prechecks read bitset words, and the bulk steady-state
+   charge goes through the machine's memo ([?memo] on
+   [Pte_walker.charge_steady_swap_pages]), which replays the exact
+   reference float for a repeated (cost, pages, cached) key instead of
+   re-running the serial 8-additions-per-page chain. *)
+let swap_disjoint_flat ?(fault = None) proc ~pmd_caching ~leaf_swap req =
+  let machine = Process.machine proc in
+  let aspace = Process.aspace proc in
+  let pt = Address_space.page_table aspace in
+  let perf = machine.Machine.perf in
+  let cost = machine.Machine.cost in
+  let ps = Addr.page_size in
+  let scratch = Machine.hot_scratch machine in
+  let sbuf = scratch.Machine.hs_src_runs in
+  let dbuf = scratch.Machine.hs_dst_runs in
+  resolve_mapped_slices ~fault pt ~va:req.src ~pages:req.pages ~buf:sbuf;
+  resolve_mapped_slices ~fault pt ~va:req.dst ~pages:req.pages ~buf:dbuf;
+  perf.Perf.leaf_runs <-
+    perf.Perf.leaf_runs + Page_table.run_buf_length sbuf
+    + Page_table.run_buf_length dbuf;
+  let walker = Pte_walker.create machine pt ~pmd_caching in
+  let si = ref 0 and soff = ref 0 in
+  let di = ref 0 and doff = ref 0 in
+  let done_pages = ref 0 in
+  while !done_pages < req.pages do
+    let ls = Page_table.run_buf_leaf sbuf !si in
+    let ss = Page_table.run_buf_start sbuf !si in
+    let ns = Page_table.run_buf_len sbuf !si in
+    let ld = Page_table.run_buf_leaf dbuf !di in
+    let ds = Page_table.run_buf_start dbuf !di in
+    let nd = Page_table.run_buf_len dbuf !di in
+    let avail = min (ns - !soff) (nd - !doff) in
+    let src_va = req.src + (!done_pages * ps) in
+    let dst_va = req.dst + (!done_pages * ps) in
+    if
+      leaf_swap && avail = Addr.pages_per_pmd && ss = 0 && ds = 0 && !soff = 0
+      && !doff = 0
+    then begin
+      Page_table.swap_pmd_entries pt src_va dst_va;
+      Pte_walker.add_cost walker cost.Cost_model.pmd_swap_ns;
+      perf.Perf.pmd_leaf_swaps <- perf.Perf.pmd_leaf_swaps + 1;
+      perf.Perf.ptes_swapped <- perf.Perf.ptes_swapped + 2
+    end
+    else begin
+      let lsp = Page_table.leaf_ptes ls in
+      let ldp = Page_table.leaf_ptes ld in
+      (* Head pages: emulate the reference loop page-at-a-time until both
+         streams are sure PMD-cache hits (at most a couple of pages). *)
+      let k = ref 0 in
+      if pmd_caching then
+        while
+          !k < avail
+          && not
+               (Pte_walker.cache_holds walker (src_va + (!k * ps))
+               && Pte_walker.cache_holds walker (dst_va + (!k * ps)))
+        do
+          Pte_walker.charge_get_pte walker (src_va + (!k * ps)) ~leaf:lsp;
+          Pte_walker.charge_get_pte walker (dst_va + (!k * ps)) ~leaf:ldp;
+          Pte_walker.charge_lock_pair walker;
+          Pte_walker.charge_lock_pair walker;
+          let slot1 = (lsp, ss + !soff + !k) in
+          let slot2 = (ldp, ds + !doff + !k) in
+          let pte1 = Pte_walker.read_slot walker slot1 in
+          let pte2 = Pte_walker.read_slot walker slot2 in
+          Pte_walker.write_slot walker slot1 pte2;
+          Pte_walker.write_slot walker slot2 pte1;
+          incr k
+        done;
+      (* Steady remainder: memoized bulk charge + slice exchange. *)
+      let bulk = avail - !k in
+      if bulk > 0 then begin
+        Pte_walker.charge_steady_swap_pages ~memo:true walker ~pages:bulk
+          ~cached:pmd_caching;
+        Page_table.swap_pte_runs lsp ~start_a:(ss + !soff + !k) ldp
+          ~start_b:(ds + !doff + !k) ~len:bulk
+      end;
+      perf.Perf.ptes_swapped <- perf.Perf.ptes_swapped + (2 * avail)
+    end;
+    done_pages := !done_pages + avail;
+    soff := !soff + avail;
+    if !soff = ns then begin
+      incr si;
+      soff := 0
+    end;
+    doff := !doff + avail;
+    if !doff = nd then begin
+      incr di;
+      doff := 0
+    end
+  done;
+  perf.Perf.bytes_remapped <-
+    perf.Perf.bytes_remapped + (req.pages * Addr.page_size);
+  Pte_walker.cost_ns walker
+
 (* One request inside an (aggregated or single) call: setup + body.
    Overlapping requests take the Algorithm 2 path, which performs its own
    per-page local flushes; the remote-visibility shootdown is paid once per
@@ -273,7 +412,7 @@ let request_cost proc ~opts req =
   end
   else
     setup
-    +. swap_disjoint_runs ~fault proc ~pmd_caching:opts.pmd_caching
+    +. swap_disjoint_flat ~fault proc ~pmd_caching:opts.pmd_caching
          ~leaf_swap:opts.leaf_swap req
 
 let call_overhead proc =

@@ -53,6 +53,26 @@ val swap_disjoint_run :
     sub-runs at the directory level for [Cost_model.pmd_swap_ns] each —
     outside the cost-equivalence guarantee. *)
 
+val swap_disjoint_flat :
+  ?fault:Svagc_fault.Injector.t option ->
+  Process.t ->
+  pmd_caching:bool ->
+  leaf_swap:bool ->
+  request ->
+  float
+(** The flat body of Algorithm 1 used by {!swap} (no syscall/flush):
+    observably identical to {!swap_disjoint_run} — same heap mutations,
+    same counters, bit-identical simulated cost — with the remaining
+    per-op host allocation removed.  Slice descriptors live in the
+    machine's reusable scratch buffers ({!Svagc_vmem.Machine.hot_scratch}),
+    presence is prechecked against per-leaf bitset words (O(1) for a
+    fully-mapped leaf), and the steady-state bulk charge is memoized on
+    (cost, pages, cached) keys, replaying the exact reference float.
+    [fault]'s [pte] clause is consulted per page in address order, exactly
+    like the reference resolver.
+    @raise Svagc_fault.Kernel_error.Fault before any mutation on a
+    non-mapped page or firing clause. *)
+
 type outcome = {
   ns : float;  (** total simulated cost, including any failed attempt *)
   completed : int;  (** requests fully applied before the first failure *)

@@ -7,6 +7,19 @@ module Tracer = Svagc_trace.Tracer
    va", not a particular frame). *)
 type whereabouts = Nowhere | On_active | On_inactive
 
+(* Tracking-table key: (asid, vpn) packed into one immediate int, so the
+   table hashes and compares an unboxed int instead of a heap-allocated
+   tuple and the hot notification paths ([page_touched], [track]) allocate
+   nothing per call.  40 bits of vpn (2^40 pages = 4 PiB of VA) under the
+   asid leaves 22+ asid bits on 63-bit ints — both checked because a
+   silent overlap would alias two pages' nodes. *)
+let key_vpn_bits = 40
+
+let page_key ~asid ~vpn =
+  if vpn lsr key_vpn_bits <> 0 || asid lsr (Sys.int_size - 1 - key_vpn_bits) <> 0
+  then invalid_arg "Reclaim.page_key: asid/vpn out of range";
+  (asid lsl key_vpn_bits) lor vpn
+
 type page = {
   p_asid : int;
   p_vpn : int;
@@ -109,10 +122,16 @@ type t = {
   max_io_retries : int;
   active : lru;
   inactive : lru;
-  (* (asid, vpn) -> node, for every page on either list.  Which list a
-     node is on is recovered by removal sites scanning both — see
+  (* [page_key asid vpn] -> node, for every page on either list.  Which
+     list a node is on is recovered by removal sites scanning both — see
      [drop_node]. *)
-  pages : (int * int, page) Hashtbl.t;
+  pages : (int, page) Hashtbl.t;
+  (* Secondary index: asid -> (vpn -> node), same membership as [pages].
+     The post-GC [adopt_space] resync enumerates ONE tenant's nodes
+     through it — iterating the flat table there was O(fleet-wide pages)
+     per tenant GC, the quadratic wall of 10k-tenant runs.  Node drops
+     are commutative, so enumeration order cannot change any outcome. *)
+  by_asid : (int, (int, page) Hashtbl.t) Hashtbl.t;
   mutable pending_ns : float;
   mutable in_kswapd : bool;
   mutable cgroup : cgroup_iface option;
@@ -158,6 +177,7 @@ let create machine ~limit_frames ?swap_cost_ns ?(max_io_retries = 3) ?dev () =
     active = lru_create On_active;
     inactive = lru_create On_inactive;
     pages = Hashtbl.create 1024;
+    by_asid = Hashtbl.create 64;
     pending_ns = 0.0;
     in_kswapd = false;
     cgroup = None;
@@ -169,7 +189,7 @@ let set_cgroup t cg =
      maps during spawn, often before its limits are registered). *)
   match cg with
   | None -> ()
-  | Some c -> Hashtbl.iter (fun (asid, _) _ -> c.cg_charge ~asid) t.pages
+  | Some c -> Hashtbl.iter (fun _ p -> c.cg_charge ~asid:p.p_asid) t.pages
 
 let limit_frames t = t.limit
 
@@ -182,8 +202,21 @@ let drain_ns t =
 
 (* Forget a node: the (asid, vpn) key leaves the tracking table and the
    tenant's resident count drops with it. *)
+let asid_nodes t asid =
+  match Hashtbl.find_opt t.by_asid asid with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.add t.by_asid asid tbl;
+    tbl
+
 let untrack t p =
-  Hashtbl.remove t.pages (p.p_asid, p.p_vpn);
+  Hashtbl.remove t.pages (page_key ~asid:p.p_asid ~vpn:p.p_vpn);
+  (match Hashtbl.find_opt t.by_asid p.p_asid with
+  | Some tbl ->
+    Hashtbl.remove tbl p.p_vpn;
+    if Hashtbl.length tbl = 0 then Hashtbl.remove t.by_asid p.p_asid
+  | None -> ());
   match t.cgroup with
   | Some cg -> cg.cg_uncharge ~asid:p.p_asid
   | None -> ()
@@ -350,9 +383,9 @@ let balance t = balance_incoming t ~incoming:0
 
 let track t ~pt ~asid ~va =
   let vpn = Addr.page_number va in
-  match Hashtbl.find_opt t.pages (asid, vpn) with
-  | Some p -> p.p_ref <- true
-  | None ->
+  match Hashtbl.find t.pages (page_key ~asid ~vpn) with
+  | p -> p.p_ref <- true
+  | exception Not_found ->
     let p =
       {
         p_asid = asid;
@@ -364,7 +397,8 @@ let track t ~pt ~asid ~va =
         p_on = Nowhere;
       }
     in
-    Hashtbl.add t.pages (asid, vpn) p;
+    Hashtbl.add t.pages (page_key ~asid ~vpn) p;
+    Hashtbl.replace (asid_nodes t asid) vpn p;
     (match t.cgroup with Some cg -> cg.cg_charge ~asid | None -> ());
     lru_push_front t.active p
 
@@ -420,28 +454,37 @@ let page_mapped t ~pt ~asid ~va =
 
 let page_unmapped t ~asid ~va ~pte =
   if Pte.is_swapped pte then t.dev.d_free_slot (Pte.swap_slot_exn pte);
-  match Hashtbl.find_opt t.pages (asid, Addr.page_number va) with
-  | Some p -> drop_node t p
-  | None -> ()
+  match Hashtbl.find t.pages (page_key ~asid ~vpn:(Addr.page_number va)) with
+  | p -> drop_node t p
+  | exception Not_found -> ()
 
+(* The hottest notification: every simulated heap access lands here.
+   [Hashtbl.find] on the packed int key plus the exception match keeps the
+   miss AND hit paths free of [Some]/tuple allocation. *)
 let page_touched t ~asid ~va =
-  match Hashtbl.find_opt t.pages (asid, Addr.page_number va) with
-  | Some p -> p.p_ref <- true
-  | None -> ()
+  match Hashtbl.find t.pages (page_key ~asid ~vpn:(Addr.page_number va)) with
+  | p -> p.p_ref <- true
+  | exception Not_found -> ()
 
 let adopt_space t ~pt ~asid =
   (* Drop stale nodes first (tracked but no longer present) ... *)
   let stale = ref [] in
-  Hashtbl.iter
-    (fun (a, vpn) p ->
-      if a = asid && not (Pte.is_present (Page_table.get_pte pt (vpn * Addr.page_size)))
-      then stale := p :: !stale)
-    t.pages;
+  (match Hashtbl.find_opt t.by_asid asid with
+  | None -> ()
+  | Some tbl ->
+    Hashtbl.iter
+      (fun _ p ->
+        if
+          not
+            (Pte.is_present
+               (Page_table.get_pte pt (p.p_vpn * Addr.page_size)))
+        then stale := p :: !stale)
+      tbl);
   List.iter (fun p -> drop_node t p) !stale;
   (* ... then track present pages we do not know about, in deterministic
      page-table walk order. *)
   Page_table.iter_mapped pt ~f:(fun ~vpn ~frame:_ ->
-      if not (Hashtbl.mem t.pages (asid, vpn)) then
+      if not (Hashtbl.mem t.pages (page_key ~asid ~vpn)) then
         track t ~pt ~asid ~va:(vpn * Addr.page_size));
   (* The resync may have revealed pages this tenant acquired since the
      last notification; settle its hard limit before handing back. *)

@@ -1,0 +1,59 @@
+(** Binary-heap event calendar for the discrete-event simulation core.
+
+    The calendar is a min-heap keyed on [(ns, seq)]:
+
+    - [ns] is *simulated* nanoseconds — never host time.  Determinism
+      rule: every key must be derived from simulated state (clocks, step
+      indices, deterministic RNG), so a replay schedules byte-identical
+      keys and the calendar pops byte-identical order.
+    - [seq] is a monotonically increasing insertion stamp that breaks
+      ties FIFO: two events at the same [ns] fire in the order they were
+      scheduled.  This is what makes the event-driven engine reproduce a
+      lockstep round-robin exactly — within one simulated instant,
+      calendar order equals insertion order.
+
+    Cancellation is lazy: {!cancel} marks the handle and the entry is
+    discarded when it reaches the top, so cancel is O(1) and pop stays
+    O(log n) amortised.
+
+    The calendar never allocates per event beyond its growable backing
+    arrays (payloads are stored unboxed via [Obj.repr]); scheduling into
+    a warm calendar is allocation-free. *)
+
+type 'a t
+
+val create : ?capacity:int -> ?perf:Svagc_vmem.Perf.t -> unit -> 'a t
+(** [?perf] wires the machine counters: [sched_scheduled] /
+    [sched_dispatched] / [sched_cancelled] are bumped by the matching
+    operations. *)
+
+type handle = int
+(** Stable identifier returned by {!schedule}; usable with {!cancel}
+    until the event fires. *)
+
+val schedule : 'a t -> ns:float -> 'a -> handle
+(** Insert an event at simulated time [ns].  Raises [Invalid_argument]
+    if [ns] is NaN or negative — host time (or uninitialised floats)
+    must never leak into the calendar. *)
+
+val cancel : 'a t -> handle -> bool
+(** Remove a pending event (lazy deletion).  Returns [false] if the
+    handle already fired or was already cancelled. *)
+
+val pop : 'a t -> ('a * float) option
+(** Remove and return the earliest live event [(payload, ns)], FIFO
+    among equal [ns].  [None] when the calendar is empty. *)
+
+val peek_ns : 'a t -> float option
+(** Key of the next live event without removing it. *)
+
+val live : 'a t -> int
+(** Number of pending (scheduled, not yet fired or cancelled) events. *)
+
+val is_empty : 'a t -> bool
+
+val scheduled_total : 'a t -> int
+(** Lifetime count of {!schedule} calls (also the next handle). *)
+
+val clear : 'a t -> unit
+(** Drop all pending events (they count as cancelled). *)

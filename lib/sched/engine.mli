@@ -1,0 +1,35 @@
+(** Deterministic drivers over a set of simulated processes.
+
+    A {!proc} is a self-rescheduling event source: firing it at [now]
+    returns the simulated ns of its next event (or {!done_ns} to
+    finish).  Two drivers execute the same process set:
+
+    - {!run_lockstep_scan} — the reference engine.  It models the old
+      lockstep wave loop: every dispatch scans the whole process array
+      for the minimum [(next_ns, stamp)] pair, so each event costs O(n)
+      host work even when most tenants are idle.
+    - {!run_calendar} — the event-driven engine over {!Calendar}: O(log
+      n) per event, idle processes cost nothing between their events.
+
+    Both drivers fire events in the identical total order (simulated ns,
+    FIFO among ties by scheduling stamp), so any deterministic process
+    set produces bit-identical final state under either — the property
+    {!Svagc_check.Differential} and [test_sched] enforce. *)
+
+type proc
+
+val done_ns : float
+(** Sentinel return value from a process: no further events. *)
+
+val proc : first_ns:float -> (now:float -> float) -> proc
+(** A process whose first event is at [first_ns] (finite, [>= 0]).  Each
+    firing must return [done_ns] or a time [>= now].  A [proc] array is
+    single-use: build fresh processes (and fresh closure state) per
+    run. *)
+
+val run_lockstep_scan : proc array -> int
+(** Reference engine; returns the number of events fired. *)
+
+val run_calendar : ?perf:Svagc_vmem.Perf.t -> proc array -> int
+(** Event-driven engine; fires the same events in the same order as
+    {!run_lockstep_scan} and returns the same count. *)

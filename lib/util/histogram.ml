@@ -3,7 +3,7 @@ type t = {
   mutable sorted : bool;
 }
 
-let create () = { samples = Vec.create (); sorted = true }
+let create ?capacity () = { samples = Vec.create ?capacity (); sorted = true }
 
 let add t x =
   Vec.push t.samples x;
@@ -64,8 +64,14 @@ let stddev t =
     sqrt (ss /. float_of_int (n - 1))
   end
 
+let merge_into ~into b =
+  if Vec.length b.samples > 0 then begin
+    Vec.append into.samples b.samples;
+    into.sorted <- false
+  end
+
 let merge a b =
-  let t = create () in
-  Vec.iter (add t) a.samples;
-  Vec.iter (add t) b.samples;
+  let t = create ~capacity:(count a + count b) () in
+  merge_into ~into:t a;
+  merge_into ~into:t b;
   t

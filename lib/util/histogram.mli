@@ -2,7 +2,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] pre-sizes the sample store — across a 10k-tenant fleet
+    the per-tenant histograms have a known sample budget (steps, GC
+    count), and pre-sizing avoids both doubling churn and the 2x
+    over-allocation tail of growth-by-doubling. *)
 
 val add : t -> float -> unit
 
@@ -40,3 +44,10 @@ val stddev : t -> float
 
 val merge : t -> t -> t
 (** Combine two sample sets into a fresh one. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into b] appends [b]'s samples to [into] in one blit (no
+    re-sort, no fresh histogram).  Folding [n] tenants' histograms into a
+    fleet-wide one is O(total samples) this way, where repeated {!merge}
+    is O(n * total).  Quantiles sort lazily on the next query, so sample
+    order does not affect any percentile. *)

@@ -136,6 +136,18 @@ let remove_first p v =
     true
   end
 
+let append dst src =
+  let need = dst.len + src.len in
+  if need > Array.length dst.data then begin
+    let cap = Stdlib.max 8 (Array.length dst.data) in
+    let rec fit c = if c >= need then c else fit (2 * c) in
+    let data = Array.make (fit cap) dummy in
+    Array.blit dst.data 0 data 0 dst.len;
+    dst.data <- data
+  end;
+  Array.blit src.data 0 dst.data dst.len src.len;
+  dst.len <- need
+
 let sort cmp v =
   let a = to_array v in
   Array.sort cmp a;

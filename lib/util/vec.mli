@@ -62,6 +62,12 @@ val map : ('a -> 'b) -> 'a t -> 'b t
 
 val filter : ('a -> bool) -> 'a t -> 'a t
 
+val append : 'a t -> 'a t -> unit
+(** [append dst src] pushes every element of [src] onto the end of [dst]
+    in order, in one blit (no per-element allocation).  [src] is
+    unchanged; growing [dst] rounds its capacity up to the next power of
+    two that fits. *)
+
 val remove_first : ('a -> bool) -> 'a t -> bool
 (** [remove_first p v] removes the first element satisfying [p], shifting
     the tail down in place (one pass, no allocation); [false] when no

@@ -23,6 +23,24 @@ type reclaim_iface = {
   ri_tier_stats : unit -> (int * int) option;
 }
 
+(* Machine-owned scratch for the flat SwapVA engine: two reusable run
+   buffers (src/dst slice descriptors) and a direct-mapped memo for the
+   bulk steady-state charge.  The memo is keyed by the walker's exact
+   accumulated cost (float bits), the page count and the cached flag;
+   a hit replays the identical float result, so memoization cannot
+   perturb bit-identity — it only skips re-running a pure, deterministic
+   serial float chain.  [hs_memo_enc] holds [(pages lsl 1) lor cached]
+   (never 0, so 0 marks an empty slot). *)
+type hot_scratch = {
+  hs_src_runs : Page_table.run_buf;
+  hs_dst_runs : Page_table.run_buf;
+  hs_memo_acc : float array;
+  hs_memo_enc : int array;
+  hs_memo_out : float array;
+}
+
+let memo_slots = 8192
+
 type t = {
   cost : Cost_model.t;
   ncores : int;
@@ -34,6 +52,7 @@ type t = {
   mutable next_asid : int;
   mutable fault : Svagc_fault.Injector.t option;
   mutable reclaim : reclaim_iface option;
+  mutable scratch : hot_scratch option;
 }
 
 (* Observation hooks for the shadow oracle (svagc_check).  The vmem layer
@@ -62,6 +81,7 @@ let create ?ncores ?(phys_mib = 512) (cost : Cost_model.t) =
       next_asid = 1;
       fault = None;
       reclaim = None;
+      scratch = None;
     }
   in
   (match !created_hook with None -> () | Some f -> f t);
@@ -70,6 +90,22 @@ let create ?ncores ?(phys_mib = 512) (cost : Cost_model.t) =
 let core t i =
   if i < 0 || i >= t.ncores then invalid_arg "Machine.core: no such core";
   t.cores.(i)
+
+let hot_scratch t =
+  match t.scratch with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        hs_src_runs = Page_table.run_buf_create ();
+        hs_dst_runs = Page_table.run_buf_create ();
+        hs_memo_acc = Array.make memo_slots 0.0;
+        hs_memo_enc = Array.make memo_slots 0;
+        hs_memo_out = Array.make memo_slots 0.0;
+      }
+    in
+    t.scratch <- Some s;
+    s
 
 let fresh_asid t =
   let asid = t.next_asid in

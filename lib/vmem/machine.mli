@@ -73,7 +73,30 @@ type t = {
   mutable reclaim : reclaim_iface option;
       (** The memory-pressure plane; [None] (the default) means unlimited
           physical memory.  Installed by [Fault_handler.attach]. *)
+  mutable scratch : hot_scratch option;
+      (** Lazily-built hot-path scratch; use {!hot_scratch}. *)
 }
+
+(** Machine-owned scratch for the flat SwapVA engine: reusable src/dst
+    run buffers plus a direct-mapped memo for the bulk steady-state PTE
+    charge.  The memo key is (exact accumulated-cost float, page count,
+    cached flag) and the stored value is the exact float the reference
+    loop produced for that key, so hits are bit-identical by
+    construction — the memo only skips re-running a pure deterministic
+    serial float chain. *)
+and hot_scratch = {
+  hs_src_runs : Page_table.run_buf;
+  hs_dst_runs : Page_table.run_buf;
+  hs_memo_acc : float array;
+  hs_memo_enc : int array;  (** [(pages lsl 1) lor cached]; 0 = empty slot *)
+  hs_memo_out : float array;
+}
+
+val memo_slots : int
+(** Direct-mapped memo size (power of two). *)
+
+val hot_scratch : t -> hot_scratch
+(** The machine's scratch, created on first use. *)
 
 val create : ?ncores:int -> ?phys_mib:int -> Cost_model.t -> t
 (** [ncores] defaults to the preset's core count; [phys_mib] defaults to

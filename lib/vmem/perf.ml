@@ -31,6 +31,9 @@ type t = {
   mutable tier_demotions : int;
   mutable tier_promotions : int;
   mutable admission_rejects : int;
+  mutable sched_scheduled : int;
+  mutable sched_dispatched : int;
+  mutable sched_cancelled : int;
 }
 
 let create () =
@@ -67,6 +70,9 @@ let create () =
     tier_demotions = 0;
     tier_promotions = 0;
     admission_rejects = 0;
+    sched_scheduled = 0;
+    sched_dispatched = 0;
+    sched_cancelled = 0;
   }
 
 let reset t =
@@ -101,7 +107,10 @@ let reset t =
   t.swap_io_errors <- 0;
   t.tier_demotions <- 0;
   t.tier_promotions <- 0;
-  t.admission_rejects <- 0
+  t.admission_rejects <- 0;
+  t.sched_scheduled <- 0;
+  t.sched_dispatched <- 0;
+  t.sched_cancelled <- 0
 
 let copy t =
   {
@@ -137,6 +146,9 @@ let copy t =
     tier_demotions = t.tier_demotions;
     tier_promotions = t.tier_promotions;
     admission_rejects = t.admission_rejects;
+    sched_scheduled = t.sched_scheduled;
+    sched_dispatched = t.sched_dispatched;
+    sched_cancelled = t.sched_cancelled;
   }
 
 let diff ~after ~before =
@@ -173,6 +185,9 @@ let diff ~after ~before =
     tier_demotions = after.tier_demotions - before.tier_demotions;
     tier_promotions = after.tier_promotions - before.tier_promotions;
     admission_rejects = after.admission_rejects - before.admission_rejects;
+    sched_scheduled = after.sched_scheduled - before.sched_scheduled;
+    sched_dispatched = after.sched_dispatched - before.sched_dispatched;
+    sched_cancelled = after.sched_cancelled - before.sched_cancelled;
   }
 
 let to_assoc t =
@@ -209,6 +224,9 @@ let to_assoc t =
     ("tier_demotions", t.tier_demotions);
     ("tier_promotions", t.tier_promotions);
     ("admission_rejects", t.admission_rejects);
+    ("sched_scheduled", t.sched_scheduled);
+    ("sched_dispatched", t.sched_dispatched);
+    ("sched_cancelled", t.sched_cancelled);
   ]
 
 let pp ppf t =
@@ -219,7 +237,8 @@ let pp ppf t =
      gcs=%d retries=%d fallbacks=%d waste=%dB alloc=%dB \
      swapped_out=%d swapped_in=%d major_faults=%d reclaim_scans=%d \
      kswapd_wakes=%d swap_eio=%d demotions=%d promotions=%d \
-     admission_rejects=%d"
+     admission_rejects=%d sched_scheduled=%d sched_dispatched=%d \
+     sched_cancelled=%d"
     t.syscalls t.swapva_calls t.memmove_calls t.ptes_swapped t.pt_walks
     t.pmd_cache_hits t.leaf_runs t.runs_coalesced t.pmd_leaf_swaps
     t.bytes_copied t.bytes_remapped t.tlb_flush_local
@@ -228,4 +247,4 @@ let pp ppf t =
     t.alloc_waste_bytes t.alloc_bytes
     t.pages_swapped_out t.pages_swapped_in t.major_faults t.reclaim_scans
     t.kswapd_wakes t.swap_io_errors t.tier_demotions t.tier_promotions
-    t.admission_rejects
+    t.admission_rejects t.sched_scheduled t.sched_dispatched t.sched_cancelled

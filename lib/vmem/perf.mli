@@ -67,6 +67,13 @@ type t = {
   mutable admission_rejects : int;
       (** tenants refused outright by fleet admission control (neither
           admitted nor queued) *)
+  mutable sched_scheduled : int;
+      (** events inserted into an event calendar ({!Svagc_sched.Calendar}) *)
+  mutable sched_dispatched : int;
+      (** calendar events actually delivered to their process; always
+          [<= sched_scheduled - sched_cancelled] *)
+  mutable sched_cancelled : int;
+      (** calendar events removed before firing (lazy deletion) *)
 }
 
 val create : unit -> t

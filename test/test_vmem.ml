@@ -437,7 +437,8 @@ let test_perf_copy_is_snapshot () =
         ("pages_swapped_out", 0); ("pages_swapped_in", 0); ("major_faults", 0);
         ("reclaim_scans", 0); ("kswapd_wakes", 0); ("swap_io_errors", 0);
         ("tier_demotions", 0); ("tier_promotions", 0);
-        ("admission_rejects", 0);
+        ("admission_rejects", 0); ("sched_scheduled", 0);
+        ("sched_dispatched", 0); ("sched_cancelled", 0);
       ])
 
 let test_perf_reset () =
@@ -475,8 +476,8 @@ let test_perf_diff_self_is_zero () =
 
 let test_perf_to_assoc_covers_all_counters () =
   let names = List.map fst (Perf.to_assoc (Perf.create ())) in
-  Alcotest.(check int) "32 counters" 32 (List.length names);
-  Alcotest.(check int) "no duplicate names" 32
+  Alcotest.(check int) "35 counters" 35 (List.length names);
+  Alcotest.(check int) "no duplicate names" 35
     (List.length (List.sort_uniq compare names))
 
 let () =
