@@ -77,7 +77,21 @@ val sched_identity : sched_case -> int * Check.finding list
     [run_calendar]; the (proc, ns) firing sequences must be bit-identical
     (the calendar's FIFO tie-break contract). *)
 
+val par_identity : ?domains:int -> seed:int -> unit -> int * Check.finding list
+(** The host-parallelism oracle (DESIGN.md §13): replay one deterministic
+    workload — two traced LISP2 GC cycles over a seeded object soup
+    followed by a sharded {!Svagc_par.Par_sweep} — once under a 1-domain
+    global pool and once under a [domains]-domain pool
+    ([Svagc_par.Domain_pool.with_global]), and assert the two runs are
+    {e bit-identical} in every observable: per-cycle clocks (float bits),
+    cycle accounting, the full perf-counter vector, the final heap
+    layout, the canonical Chrome trace (byte for byte, per-span counter
+    deltas included), and the sweep's per-shard stats, costs and
+    checksums.  Each replay also passes {!Check.domain_safety} and checks
+    the sweep checksum against {!Svagc_par.Par_sweep.checksum_reference}.
+    [domains] defaults to 4. *)
+
 val run_suite : ?cases:int -> ?seed:int -> unit -> int * Check.finding list
 (** [cases] generated schedules (default 40) through {!compare_case},
-    {!zero_fault_identity} and {!sched_identity}; returns the combined
-    (items, findings). *)
+    {!zero_fault_identity} and {!sched_identity}, plus a handful of
+    {!par_identity} replays; returns the combined (items, findings). *)

@@ -15,6 +15,8 @@ type decision =
   | Rejected
 
 val decision_name : decision -> string
+(** ["admitted"] / ["queued"] / ["rejected"], as printed in reports and
+    trace instants. *)
 
 type t
 
@@ -42,12 +44,16 @@ val take_ready : t -> (int * int) list
     order, committing each. *)
 
 val budget_frames : t -> int
+(** The commitment ceiling: [floor (overcommit * capacity_frames)]. *)
 
 val committed_frames : t -> int
+(** Frames currently committed by admitted tenants. *)
 
 val admitted : t -> int
 (** Tenants admitted so far (direct + via {!take_ready}). *)
 
 val rejected : t -> int
+(** Tenants turned away because the wait queue was full. *)
 
 val queue_length : t -> int
+(** Tenants currently waiting (queued, not yet started). *)

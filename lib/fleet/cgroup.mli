@@ -16,6 +16,8 @@
 type t
 
 val create : unit -> t
+(** An empty cgroup table: every tenant is unlimited until
+    {!set_limits}. *)
 
 val iface : t -> Svagc_reclaim.Reclaim.cgroup_iface
 (** The accounting plane as a reclaimer-pluggable closure record. *)
@@ -37,6 +39,7 @@ val any_over_soft : t -> bool
 (** O(1): is any tenant over its soft limit? *)
 
 val tenant_count : t -> int
+(** Tenants that have appeared (charged a page or registered limits). *)
 
 val stats : t -> (int * int * int * int) list
 (** [(asid, resident, soft, hard)] in ascending-asid order. *)

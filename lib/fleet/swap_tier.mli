@@ -32,17 +32,22 @@ val iface : t -> Svagc_reclaim.Reclaim.dev_iface
 (** The device as a reclaimer-pluggable closure record. *)
 
 val near_slots : t -> int
+(** Capacity of the near tier, as configured. *)
 
 val near_in_use : t -> int
+(** Allocated slots whose payload currently lives in the near tier. *)
 
 val far_in_use : t -> int
+(** Allocated slots whose payload has been demoted to the far tier. *)
 
 val slots_in_use : t -> int
+(** [near_in_use + far_in_use]: all live virtual slot ids. *)
 
 val stats : t -> int * int
 (** [(near_in_use, far_in_use)]. *)
 
 val allocated : t -> slot:int -> bool
+(** Is [slot] a live virtual id (on either tier)? *)
 
 val peek : t -> slot:int -> bytes option
 (** The slot's payload without promotion side effects (oracle path). *)

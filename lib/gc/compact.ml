@@ -4,6 +4,15 @@ module Machine = Svagc_vmem.Machine
 module Cost_model = Svagc_vmem.Cost_model
 module Process = Svagc_kernel.Process
 
+(* Compact stays on the calling domain (DESIGN.md §13): moves slide
+   objects in ascending address order (a later move may read the bytes an
+   earlier one vacated), and the SwapVA mover's walk-cache and
+   pmd_cache_hits counters carry temporal state between consecutive
+   requests — fanning the move stream out would change counters and costs,
+   breaking bit-identity.  Host parallelism enters through the phases that
+   are genuinely data-parallel (mark's clear sweep, adjust's rewrites,
+   Par_sweep). *)
+
 type entry = {
   obj : Obj_model.t;
   src : int;

@@ -11,6 +11,11 @@ type result = {
   live : Obj_model.t list;
 }
 
+(* Forward stays on the calling domain (DESIGN.md §13): the new address of
+   each object is a prefix sum over all earlier live objects in address
+   order (with alignment rounding), an inherently sequential dependence —
+   the paper's real VM parallelizes it with per-region precomputation the
+   simulator has no need for. *)
 let run heap ~threads =
   let machine = Svagc_kernel.Process.machine (Heap.proc heap) in
   let cost = machine.Machine.cost in

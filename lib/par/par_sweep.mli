@@ -1,0 +1,68 @@
+(** The sharded page-table sweep: the repo's reference workload for real
+    host parallelism with deterministic reduction.
+
+    A sweep audits a VA window [\[va, va + pages·page_size)]: it counts
+    present and swapped PTEs, folds an order-insensitive checksum over
+    every mapped [(vpn, pte)] pair, and charges a simulated walk cost
+    (one directory descent per materialized leaf plus one PTE-word
+    access per mapped entry, bumping [pt_walks] once per leaf).
+
+    Sharding is by PMD leaf index: {!Reduce.slice} partitions the
+    window's leaf range into [shards] contiguous, {e disjoint} subtree
+    ranges — the shard-per-core structure of DESIGN.md §13 — so no two
+    shards (and therefore no two domains) ever touch the same leaf.
+    [Svagc_check.Check.domain_safety] verifies that law on the result;
+    [Svagc_check.Differential.par_identity] verifies that a 1-domain and
+    an N-domain execution of the same sweep are bit-identical in every
+    field, counters and cost floats included.
+
+    Each shard accumulates into shard-local state (its own
+    [Svagc_vmem.Perf] delta, its own counters); the merge into the
+    machine's counters and the result record happens on the caller in
+    canonical shard order via {!Reduce}. *)
+
+type shard_stats = {
+  ss_shard : int;  (** canonical shard index *)
+  ss_leaf_lo : int;  (** first global leaf index (vpn / 512) owned *)
+  ss_leaf_hi : int;  (** one past the last owned leaf index *)
+  ss_leaves : int;  (** materialized leaves actually walked *)
+  ss_present : int;
+  ss_swapped : int;
+  ss_checksum : int64;  (** additive mix over the shard's mapped pages *)
+  ss_cost_ns : float;  (** simulated walk cost of this shard *)
+}
+
+type result = {
+  shards : shard_stats array;  (** canonical shard order *)
+  leaves : int;
+  present : int;
+  swapped : int;
+  checksum : int64;
+      (** Int64 sum of the shard checksums — partition- and
+          domain-invariant (addition commutes). *)
+  walk_ns : float;
+      (** Shard costs summed in canonical order: the sequential
+          (one-stream) simulated cost of the sweep. *)
+  makespan_ns : float;
+      (** [Work_steal.makespan] over the shard costs with
+          [threads = shards]: the simulated parallel wall-clock. *)
+}
+
+val run :
+  ?pool:Domain_pool.t ->
+  Svagc_vmem.Machine.t ->
+  Svagc_vmem.Page_table.t ->
+  va:int ->
+  pages:int ->
+  shards:int ->
+  result
+(** Sweep [pages] pages starting at [va] in [shards] shards executed on
+    [pool] (default {!Domain_pool.global}).  Bumps the machine's
+    [pt_walks] by the number of leaves walked (merged in shard order).
+    The page table must not be mutated concurrently.
+    @raise Invalid_argument when [shards <= 0] or [pages < 0]. *)
+
+val checksum_reference : Svagc_vmem.Page_table.t -> va:int -> pages:int -> int64
+(** The unsharded, strictly sequential checksum of the same window —
+    the oracle {!run}'s merged checksum must equal for any shard
+    partition and any domain count. *)

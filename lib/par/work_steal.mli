@@ -1,13 +1,17 @@
-(** Deterministic simulated work-stealing executor.
+(** Deterministic simulated work-stealing executor — the {e simulated-time}
+    half of the repo's parallelism story ({!Domain_pool} is the
+    {e host-time} half; see DESIGN.md §13).
 
     All parallel GC phases (mark, forward, adjust, compact — as in the
     paper's "parallelized phases, same as ParallelGC") are expressed as a
     bag of tasks with known simulated costs.  The executor replays a
     work-stealing schedule: [threads] simulated workers draw from their own
     deques and steal from the most loaded victim when empty.  Task side
-    effects run exactly once, in schedule order, on the real (single) host
-    thread, so the simulation stays deterministic while the *makespan*
-    reflects parallel execution.
+    effects run exactly once, in schedule order, on the calling domain, so
+    the simulation stays deterministic while the *makespan* — the number
+    the experiments publish — reflects parallel execution.  Whether the
+    side effects of a phase {e also} run on real domains is an orthogonal
+    choice made per phase through {!Domain_pool}.
 
     Guarantees checked by the property tests:
     makespan >= max(total_work / threads, max_task_cost) and

@@ -51,6 +51,7 @@ val live : 'a t -> int
 (** Number of pending (scheduled, not yet fired or cancelled) events. *)
 
 val is_empty : 'a t -> bool
+(** [live t = 0]: nothing left to fire. *)
 
 val scheduled_total : 'a t -> int
 (** Lifetime count of {!schedule} calls (also the next handle). *)

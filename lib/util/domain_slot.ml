@@ -1,0 +1,10 @@
+let max_slots = 128
+
+let key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let my_slot () = Domain.DLS.get key
+
+let set_slot s =
+  if s < 0 || s >= max_slots then
+    invalid_arg "Domain_slot.set_slot: slot out of range";
+  Domain.DLS.set key s

@@ -1,0 +1,26 @@
+(** Per-domain shard slots.
+
+    Every domain that executes simulator code carries a small integer
+    {e slot}: 0 for the initial (sequential) domain, [1 .. max_slots-1]
+    for pool workers.  The slot is the index into any per-domain state a
+    shared structure owns — notably [Machine.hot_scratch], whose scratch
+    buffers and charge memos must never be shared between concurrently
+    running domains.
+
+    The slot lives in domain-local storage ([Domain.DLS]), so reading it
+    is race-free and allocation-free.  [Svagc_par.Domain_pool] assigns
+    worker slots at spawn time; code that never runs under a pool always
+    observes slot 0 and behaves exactly as it did when the host was
+    single-threaded. *)
+
+val max_slots : int
+(** Upper bound on distinct slots (and thus on pool workers + 1).
+    Sized so per-machine slot arrays stay trivially small. *)
+
+val my_slot : unit -> int
+(** The calling domain's slot.  0 unless a pool assigned one. *)
+
+val set_slot : int -> unit
+(** Assign the calling domain's slot.  Reserved for pool internals
+    (worker initialisation) and tests.
+    @raise Invalid_argument unless [0 <= slot < max_slots]. *)

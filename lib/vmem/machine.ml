@@ -30,7 +30,13 @@ type reclaim_iface = {
    a hit replays the identical float result, so memoization cannot
    perturb bit-identity — it only skips re-running a pure, deterministic
    serial float chain.  [hs_memo_enc] holds [(pages lsl 1) lor cached]
-   (never 0, so 0 marks an empty slot). *)
+   (never 0, so 0 marks an empty slot).
+
+   Scratch is per-domain: each execution stream (keyed by its
+   Domain_slot) owns its own buffers and memo, so a pool worker can
+   never scribble over another stream's half-built run list.  Memo
+   contents only affect which computations are skipped, never their
+   results, so per-domain memos cannot perturb bit-identity either. *)
 type hot_scratch = {
   hs_src_runs : Page_table.run_buf;
   hs_dst_runs : Page_table.run_buf;
@@ -52,7 +58,7 @@ type t = {
   mutable next_asid : int;
   mutable fault : Svagc_fault.Injector.t option;
   mutable reclaim : reclaim_iface option;
-  mutable scratch : hot_scratch option;
+  scratch : hot_scratch option array;
 }
 
 (* Observation hooks for the shadow oracle (svagc_check).  The vmem layer
@@ -81,7 +87,7 @@ let create ?ncores ?(phys_mib = 512) (cost : Cost_model.t) =
       next_asid = 1;
       fault = None;
       reclaim = None;
-      scratch = None;
+      scratch = Array.make Svagc_util.Domain_slot.max_slots None;
     }
   in
   (match !created_hook with None -> () | Some f -> f t);
@@ -92,7 +98,8 @@ let core t i =
   t.cores.(i)
 
 let hot_scratch t =
-  match t.scratch with
+  let slot = Svagc_util.Domain_slot.my_slot () in
+  match t.scratch.(slot) with
   | Some s -> s
   | None ->
     let s =
@@ -104,7 +111,7 @@ let hot_scratch t =
         hs_memo_out = Array.make memo_slots 0.0;
       }
     in
-    t.scratch <- Some s;
+    t.scratch.(slot) <- Some s;
     s
 
 let fresh_asid t =

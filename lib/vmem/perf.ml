@@ -151,6 +151,43 @@ let copy t =
     sched_cancelled = t.sched_cancelled;
   }
 
+let add ~into d =
+  into.syscalls <- into.syscalls + d.syscalls;
+  into.swapva_calls <- into.swapva_calls + d.swapva_calls;
+  into.memmove_calls <- into.memmove_calls + d.memmove_calls;
+  into.ptes_swapped <- into.ptes_swapped + d.ptes_swapped;
+  into.pt_walks <- into.pt_walks + d.pt_walks;
+  into.pmd_cache_hits <- into.pmd_cache_hits + d.pmd_cache_hits;
+  into.leaf_runs <- into.leaf_runs + d.leaf_runs;
+  into.runs_coalesced <- into.runs_coalesced + d.runs_coalesced;
+  into.pmd_leaf_swaps <- into.pmd_leaf_swaps + d.pmd_leaf_swaps;
+  into.bytes_copied <- into.bytes_copied + d.bytes_copied;
+  into.bytes_remapped <- into.bytes_remapped + d.bytes_remapped;
+  into.tlb_flush_local <- into.tlb_flush_local + d.tlb_flush_local;
+  into.tlb_flush_page <- into.tlb_flush_page + d.tlb_flush_page;
+  into.tlb_flush_all <- into.tlb_flush_all + d.tlb_flush_all;
+  into.ipis_sent <- into.ipis_sent + d.ipis_sent;
+  into.ipis_lost <- into.ipis_lost + d.ipis_lost;
+  into.shootdown_broadcasts <- into.shootdown_broadcasts + d.shootdown_broadcasts;
+  into.pins <- into.pins + d.pins;
+  into.gc_cycles <- into.gc_cycles + d.gc_cycles;
+  into.swap_retries <- into.swap_retries + d.swap_retries;
+  into.swap_fallbacks <- into.swap_fallbacks + d.swap_fallbacks;
+  into.alloc_waste_bytes <- into.alloc_waste_bytes + d.alloc_waste_bytes;
+  into.alloc_bytes <- into.alloc_bytes + d.alloc_bytes;
+  into.pages_swapped_out <- into.pages_swapped_out + d.pages_swapped_out;
+  into.pages_swapped_in <- into.pages_swapped_in + d.pages_swapped_in;
+  into.major_faults <- into.major_faults + d.major_faults;
+  into.reclaim_scans <- into.reclaim_scans + d.reclaim_scans;
+  into.kswapd_wakes <- into.kswapd_wakes + d.kswapd_wakes;
+  into.swap_io_errors <- into.swap_io_errors + d.swap_io_errors;
+  into.tier_demotions <- into.tier_demotions + d.tier_demotions;
+  into.tier_promotions <- into.tier_promotions + d.tier_promotions;
+  into.admission_rejects <- into.admission_rejects + d.admission_rejects;
+  into.sched_scheduled <- into.sched_scheduled + d.sched_scheduled;
+  into.sched_dispatched <- into.sched_dispatched + d.sched_dispatched;
+  into.sched_cancelled <- into.sched_cancelled + d.sched_cancelled
+
 let diff ~after ~before =
   {
     syscalls = after.syscalls - before.syscalls;

@@ -266,6 +266,12 @@ let test_differential_suite () =
   check_no_findings "differential suite"
     (Differential.run_suite ~cases:6 ~seed:0xBEEF ())
 
+(* 1-domain vs 4-domain replays of the same GC + sweep workload must be
+   bit-identical in clocks, counters, layouts and traces. *)
+let test_par_identity () =
+  check_no_findings "par identity"
+    (Differential.par_identity ~domains:4 ~seed:0xD011 ())
+
 (* --- end to end: a traced workload under shadow mode stays clean --- *)
 
 let test_shadow_end_to_end () =
@@ -345,6 +351,8 @@ let () =
           test_differential_engines;
           test_differential_rate0;
           Alcotest.test_case "suite smoke" `Quick test_differential_suite;
+          Alcotest.test_case "par identity (1 vs 4 domains)" `Quick
+            test_par_identity;
         ] );
       ( "end-to-end",
         [ Alcotest.test_case "traced run under shadow mode" `Quick
